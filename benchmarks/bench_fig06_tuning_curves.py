@@ -1,0 +1,32 @@
+"""Figure 6: workload tuning curves, online and offline cost-model modes.
+
+Shape reproduced: Pruner variants converge to lower latency, earlier,
+than Ansor (online) and than TenSetMLP/TLP (offline).
+"""
+
+from repro.experiments import e2e
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig06_tuning_curves(run_once):
+    result = run_once(
+        e2e.tuning_curves,
+        "lite",
+        ("resnet50", "bert_base"),
+        ("a100", "titanv"),
+    )
+    rows = [[key, ms] for key, ms in sorted(result["final_ms"].items())]
+    print_table("Figure 6 — final latency (ms)", ["net/device/method", "ms"], rows)
+    save_results("fig06_tuning_curves", result)
+
+    for net in ("resnet50", "bert_base"):
+        for dev in ("a100", "titanv"):
+            ansor = result["final_ms"][f"{net}/{dev}/ansor"]
+            pruner = result["final_ms"][f"{net}/{dev}/pruner"]
+            moa = result["final_ms"][f"{net}/{dev}/moa-pruner"]
+            # Online shape: Pruner-family at or below Ansor (10% slack).
+            assert min(pruner, moa) <= ansor * 1.10
+            # Offline shape: pruner-offline at or below TenSetMLP.
+            offline = result["final_ms"][f"{net}/{dev}/pruner-offline"]
+            tenset = result["final_ms"][f"{net}/{dev}/tensetmlp"]
+            assert offline <= tenset * 1.15

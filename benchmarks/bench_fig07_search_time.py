@@ -1,0 +1,26 @@
+"""Figure 7: search-time speedup — Pruner's time to reach each
+baseline's final quality vs that baseline's full search time.
+
+Paper averages on A100: Pruner 2.7x / MoA-Pruner 4.18x over Ansor;
+Pruner-offline 4.67x over TenSetMLP and 4.05x over TLP.
+"""
+
+import math
+
+from repro.experiments import e2e
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig07_search_time_speedups(run_once):
+    result = run_once(
+        e2e.search_time_speedups, "lite", ("resnet50", "bert_tiny", "vit")
+    )
+    rows = [[k, v] for k, v in result["geomean"].items()]
+    print_table("Figure 7 — geomean search-time speedups", ["pair", "speedup"], rows)
+    save_results("fig07_search_time", result)
+    g = result["geomean"]
+    # Shape: every Pruner variant reaches baseline quality faster than
+    # the baseline's full search (speedup > 1).
+    assert g["pruner_vs_ansor"] > 1.0
+    assert g["moa-pruner_vs_ansor"] > 1.0
+    assert g["pruner-offline_vs_tensetmlp"] > 1.0

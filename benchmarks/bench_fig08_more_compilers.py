@@ -1,0 +1,39 @@
+"""Figure 8: vs Adatune / Felix / TLM on A100 (failures marked X).
+
+Paper: MoA-Pruner averages 1.37x / 1.85x / 2.77x over TLM / Felix /
+Adatune; Adatune fails on DCGAN (ConvTranspose2d), Felix on irregular
+ops, TLM on subgraphs outside its pre-training corpus.
+"""
+
+import math
+
+from repro.experiments import compilers
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig08_more_compilers(run_once):
+    result = run_once(
+        compilers.versus_more_compilers,
+        "lite",
+        ("resnet50", "mobilenet_v2", "bert_tiny", "dcgan", "llama"),
+    )
+    rows = []
+    for net, norm in result["normalized"].items():
+        rows.append([net] + [norm.get(m, 0.0) for m in
+                             ("adatune", "felix", "tlm", "moa-pruner")])
+    print_table(
+        "Figure 8 — normalized perf (0 = failed, X)",
+        ["network", "adatune", "felix", "tlm", "moa-pruner"],
+        rows,
+    )
+    save_results("fig08_more_compilers", result)
+    # Shape: the documented failures occur...
+    assert result["normalized"]["dcgan"]["adatune"] == 0.0  # ConvTranspose2d
+    assert result["normalized"]["mobilenet_v2"]["felix"] == 0.0  # depthwise
+    assert result["normalized"]["dcgan"]["tlm"] == 0.0  # unseen subgraphs
+    # ...and MoA-Pruner is the best or near-best on every network.
+    for net, norm in result["normalized"].items():
+        assert norm["moa-pruner"] >= 0.85
+    # Average speedups over the compilers that succeed are > 1.
+    for method, speedup in result["avg_speedup"].items():
+        assert speedup > 0.95, (method, speedup)

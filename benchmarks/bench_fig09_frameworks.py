@@ -1,0 +1,32 @@
+"""Figure 9: vs PyTorch / Triton / TensorRT on A100.
+
+Paper averages: Pruner 1.95x over PyTorch, 2.27x over Triton, 1.21x
+over TensorRT — and TensorRT wins some cases.
+"""
+
+from repro.experiments import frameworks
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig09_frameworks(run_once):
+    result = run_once(
+        frameworks.versus_frameworks,
+        "lite",
+        ("resnet50", "mobilenet_v2", "bert_tiny", "gpt2"),
+    )
+    rows = []
+    for net, norm in result["normalized"].items():
+        rows.append([net] + [norm[m] for m in
+                             ("pytorch", "triton", "tensorrt", "moa-pruner")])
+    print_table(
+        "Figure 9 — normalized perf",
+        ["network", "pytorch", "triton", "tensorrt", "moa-pruner"],
+        rows,
+    )
+    save_results("fig09_frameworks", result)
+    s = result["avg_speedup"]
+    # Shape: Pruner beats PyTorch and Triton on average; TensorRT is the
+    # closest competitor (smallest average speedup).
+    assert s["pytorch"] > 1.0
+    assert s["triton"] > 1.0
+    assert s["tensorrt"] < max(s["pytorch"], s["triton"])

@@ -1,0 +1,30 @@
+"""Figure 11: single-operator tuning (matmuls + convs, no pretrain).
+
+Paper: Pruner beats Ansor within shorter search time on most ops;
+PyTorch wins M-2 (splitK GEMM) via specialized algorithms.
+"""
+
+from repro.experiments import single_op
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig11_single_operators(run_once):
+    cases = ("M-1", "M-2", "C1-1", "C2-1")
+    result = run_once(single_op.single_operator_bench, "lite", "a100", cases)
+    rows = []
+    for name in cases:
+        n = result["normalized"][name]
+        rows.append([name, n["pytorch"], n["ansor"], n["pruner"]])
+    print_table(
+        "Figure 11 — normalized single-op perf",
+        ["case", "pytorch", "ansor", "pruner"],
+        rows,
+    )
+    save_results("fig11_single_op", result)
+    # Shape: Pruner >= Ansor on most cases; cuBLAS splitK wins M-2.
+    wins = sum(
+        result["normalized"][c]["pruner"] >= result["normalized"][c]["ansor"] * 0.98
+        for c in cases
+    )
+    assert wins >= len(cases) - 1
+    assert result["normalized"]["M-2"]["pytorch"] > 0.9

@@ -1,0 +1,29 @@
+"""Figure 12: TensorCore (fp16) LLM inference, bs 1 and 4.
+
+Paper: Pruner averages 1.22x over MetaSchedule, 1.23x over PyTorch,
+1.30x over Triton; hand-tuned kernels win particular cases.
+"""
+
+from repro.experiments import tensorcore
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig12_tensorcore(run_once):
+    result = run_once(
+        tensorcore.versus_metaschedule, "lite", ("bert_tiny", "gpt2"), (1, 4)
+    )
+    rows = []
+    for key, norm in result["normalized"].items():
+        rows.append([key] + [norm[m] for m in
+                             ("pytorch", "triton", "metaschedule", "pruner")])
+    print_table(
+        "Figure 12 — normalized perf on TensorCore",
+        ["model/bs", "pytorch", "triton", "metaschedule", "pruner"],
+        rows,
+    )
+    save_results("fig12_tensorcore", result)
+    # Shape: Pruner at parity-or-better with MetaSchedule on average
+    # (paper: 1.22x) and never far behind on any case.
+    assert result["avg_speedup_vs_metaschedule"] > 0.95
+    for key, norm in result["normalized"].items():
+        assert norm["pruner"] >= norm["metaschedule"] * 0.85, key

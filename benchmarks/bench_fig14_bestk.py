@@ -1,0 +1,33 @@
+"""Figure 14: Best-k of LSE-drafted sets vs random-GA exploration.
+
+Paper: LSE@1 is near 1.0 and stays stable when the spec shrinks from
+512 to 256; random GA trails badly.
+"""
+
+from repro.experiments import dataset_metrics
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig14_lse_vs_ga_bestk(run_once):
+    result = run_once(
+        dataset_metrics.lse_vs_ga_bestk,
+        "lite",
+        "t4",
+        ("resnet50", "bert_tiny"),
+        (24, 48),
+        (1, 5),
+    )
+    rows = [[k, v] for k, v in sorted(result["scores"].items())]
+    print_table("Figure 14 — Best-k scores", ["case", "score"], rows)
+    save_results("fig14_bestk", result)
+    s = result["scores"]
+    for net in ("resnet50", "bert_tiny"):
+        for size in (24, 48):
+            # Shape: LSE@k beats random GA@k at every k and size.
+            for k in (1, 5):
+                assert (
+                    s[f"{net}/size{size}/LSE@{k}"]
+                    >= s[f"{net}/size{size}/GA@{k}"] - 0.02
+                )
+            # and LSE@1 stays strong at the smaller spec size.
+            assert s[f"{net}/size24/LSE@1"] > 0.6

@@ -1,0 +1,28 @@
+"""Figure 15: Top-1 vs training-set size.
+
+Paper: PaCM converges with far less data and surpasses fully-trained
+baselines with a fraction of the corpus; TLP's sparse one-hot features
+need the most data.
+"""
+
+from repro.experiments import dataset_metrics
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig15_data_scaling(run_once):
+    result = run_once(
+        dataset_metrics.topk_vs_datasize, "lite", "t4", (0.4, 0.7, 1.0)
+    )
+    rows = []
+    for model, curve in result["curves"].items():
+        rows.append([model] + [f"{n}:{v:.3f}" for n, v in curve])
+    print_table("Figure 15 — Top-1 vs data size", ["model", "40%", "70%", "100%"], rows)
+    save_results("fig15_data_scaling", result)
+    curves = result["curves"]
+    first = {m: c[0][1] for m, c in curves.items()}
+    last = {m: c[-1][1] for m, c in curves.items()}
+    # Shape: PaCM is at least as data-efficient as TLP at the smallest
+    # size and leads on the full corpus; TLP never leads.
+    assert first["pacm"] >= first["tlp"] - 0.02
+    assert last["pacm"] >= last["tensetmlp"] - 0.03
+    assert last["pacm"] >= last["tlp"]

@@ -1,0 +1,20 @@
+"""Figure 16: ResNet-50 ablation tuning curves on TITAN V.
+
+Paper shape: MoA-Pruner's curve dominates; Ansor's converges slowest.
+"""
+
+from repro.experiments import ablation
+from repro.experiments.common import print_table, save_results
+
+
+def test_fig16_ablation_curve(run_once):
+    result = run_once(ablation.ablation_curve, "lite")
+    rows = [[label, ms] for label, ms in result["final_ms"].items()]
+    print_table("Figure 16 — final latency (ms)", ["variant", "ms"], rows)
+    save_results("fig16_ablation_curve", result)
+    final = result["final_ms"]
+    assert final["moa-pruner"] <= final["ansor"] * 1.05
+    # Curves are recorded and non-empty for every variant.
+    for label, curve in result["curves"].items():
+        assert curve, label
+        assert curve[-1][1] <= curve[0][1] * 1.001

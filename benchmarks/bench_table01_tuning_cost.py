@@ -1,0 +1,50 @@
+"""Table 1: Ansor tuning-cost breakdown (exploration / training / measurement).
+
+Paper (Orin, 2,000 trials): exploration occupies ~40% of tuning time —
+the overhead Pruner's draft model removes.  This benchmark runs Ansor
+with a near-paper exploration width (population x generations) so the
+cost shares are comparable.
+"""
+
+import dataclasses
+
+from repro.config import SearchConfig, TrainConfig
+from repro.experiments import cost
+from repro.experiments.common import SCALES, print_table, save_results
+
+# paper-like exploration volume per round, fewer rounds
+_SCALE = dataclasses.replace(
+    SCALES["lite"],
+    name="lite-wide",
+    search=SearchConfig(population=384, ga_steps=4, spec_size=48),
+    rounds=10,
+    train=TrainConfig(epochs=6),
+)
+
+
+def test_table01_tuning_cost(run_once):
+    result = run_once(cost.tuning_cost_breakdown, _SCALE, ("resnet50", "inception_v3"))
+    rows = []
+    for net, m in result["measured"].items():
+        paper = result["paper"].get(net, {})
+        rows.append(
+            [
+                net,
+                m["exploration"],
+                m["training"],
+                m["measurement"],
+                f"{m['exploration_share']:.0%}",
+                str(paper),
+            ]
+        )
+    print_table(
+        "Table 1 — Ansor tuning cost (min, lite scale)",
+        ["network", "explore", "train", "measure", "explore-share", "paper(min)"],
+        rows,
+    )
+    save_results("table01_tuning_cost", result)
+    for net, m in result["measured"].items():
+        # Shape: exploration is a large minority share of total tuning
+        # time (paper: ~40%), training the smallest component.
+        assert 0.10 < m["exploration_share"] < 0.75
+        assert m["training"] < m["measurement"]

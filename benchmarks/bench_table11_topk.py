@@ -1,0 +1,24 @@
+"""Table 11: Top-1 / Top-5 of PaCM vs TenSetMLP vs TLP on T4 and K80.
+
+Paper: PaCM 0.892/0.962 (T4) and 0.897/0.969 (K80), ahead of both
+baselines.
+"""
+
+from repro.experiments import dataset_metrics
+from repro.experiments.common import print_table, save_results
+
+
+def test_table11_topk(run_once):
+    result = run_once(dataset_metrics.topk_comparison, "lite", ("t4",))
+    rows = []
+    for device, models in result["scores"].items():
+        for name, s in models.items():
+            rows.append([device, name, s["top1"], s["top5"]])
+    print_table("Table 11 — Top-k scores", ["device", "model", "top1", "top5"], rows)
+    save_results("table11_topk", result)
+    for device, models in result["scores"].items():
+        # Shape: PaCM leads on Top-1 and Top-5; Top-5 >= Top-1 always.
+        assert models["pacm"]["top1"] >= models["tensetmlp"]["top1"] - 0.03
+        assert models["pacm"]["top1"] >= models["tlp"]["top1"] - 0.03
+        for s in models.values():
+            assert s["top5"] >= s["top1"]

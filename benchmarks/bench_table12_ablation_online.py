@@ -1,0 +1,25 @@
+"""Table 12: online-mode ablation of MoA-Pruner's components.
+
+Paper shape: every removal hurts; removing LSE hurts most; temporal
+dataflow features matter more than statement features; MoA beats both
+from-scratch online training and plain online fine-tuning.
+"""
+
+from repro.experiments import ablation
+from repro.experiments.common import print_table, save_results
+
+
+def test_table12_online_ablation(run_once):
+    result = run_once(ablation.online_ablation, "lite", ("resnet50",))
+    rows = []
+    for net, r in result["latency_ms"].items():
+        for label, ms in r.items():
+            rows.append([net, label, ms])
+    print_table("Table 12 — online ablation (ms)", ["net", "variant", "ms"], rows)
+    save_results("table12_ablation_online", result)
+    r = result["latency_ms"]["resnet50"]
+    # Shape: full MoA-Pruner is at or near the best of all variants, and
+    # Ansor is the worst.
+    best = min(r.values())
+    assert r["moa-pruner"] <= best * 1.10
+    assert r["ansor"] >= r["moa-pruner"] * 0.98

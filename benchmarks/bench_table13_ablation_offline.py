@@ -1,0 +1,27 @@
+"""Table 13: offline-mode ablation — is LSE needed with a pre-trained
+cost model?
+
+Paper: yes — LSE still cuts compile time (formula vs feature+inference
+per candidate) while preserving or improving quality.
+"""
+
+from repro.experiments import ablation
+from repro.experiments.common import print_table, save_results
+
+
+def test_table13_offline_ablation(run_once):
+    result = run_once(ablation.offline_ablation, "lite", ("resnet50", "bert_tiny"))
+    rows = []
+    for net, r in result["rows"].items():
+        rows.append([net, r["w/o LSE"]["perf_ms"], r["w/o LSE"]["cost_min"],
+                     r["pruner-offline"]["perf_ms"], r["pruner-offline"]["cost_min"]])
+    print_table(
+        "Table 13 — offline ablation",
+        ["network", "noLSE-ms", "noLSE-min", "offline-ms", "offline-min"],
+        rows,
+    )
+    save_results("table13_ablation_offline", result)
+    for net, r in result["rows"].items():
+        # Shape: with LSE, compile cost is lower at equal-or-better perf.
+        assert r["pruner-offline"]["cost_min"] < r["w/o LSE"]["cost_min"]
+        assert r["pruner-offline"]["perf_ms"] <= r["w/o LSE"]["perf_ms"] * 1.10

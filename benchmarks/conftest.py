@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure at the ``lite`` scale
+(see DESIGN.md §3 for the index), prints the measured rows next to the
+paper's numbers, saves a JSON summary under ``benchmarks/results/`` and
+asserts the qualitative *shape* (who wins, roughly by how much) — not
+absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,249 @@
+"""High-level public API: assemble and run tuners in one call.
+
+This is the facade the examples, experiments and benchmarks use:
+
+>>> from repro import api
+>>> from repro.workloads import network_tasks
+>>> result = api.tune_network("bert_tiny", device="a100", method="pruner",
+...                           rounds=8, scale="smoke")
+>>> result.final_latency  # doctest: +SKIP
+
+Methods (paper Section 5/6):
+
+=================  ====================================================
+``ansor``          evolutionary search + XGBoost-style model, online
+``tensetmlp``      evolutionary search + MLP, offline pre-trained
+``tlp``            evolutionary search + primitive transformer, offline
+``pruner``         draft-then-verify + PaCM, online
+``moa-pruner``     draft-then-verify + PaCM + momentum adaptation
+``pruner-offline`` draft-then-verify + pre-trained PaCM, frozen
+``pruner-finetune``draft-then-verify + pre-trained PaCM, online FT
+``metaschedule``   evolutionary search + MLP, TensorCore templates
+``pruner-tc``      Pruner integrated into MetaSchedule (TensorCore)
+``pruner-no-lse``  ablation: PaCM verifies evolutionary candidates
+``pruner-no-sf``   ablation: PaCM without statement features
+``pruner-no-tdf``  ablation: PaCM without temporal dataflow features
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import (
+    LITE_SEARCH,
+    ONLINE_TRAIN,
+    SMOKE_SEARCH,
+    SearchConfig,
+    TrainConfig,
+)
+from repro.core.moa import MomentumAdapter
+from repro.costmodel import GBDTModel, PaCM, TenSetMLP, TLPModel
+from repro.costmodel.base import CostModel
+from repro.errors import SearchError
+from repro.hardware.device import DeviceSpec, get_device
+from repro.hardware.measure import MeasureRunner
+from repro.hardware.simulator import GroundTruthSimulator
+from repro.ir.partition import SubgraphTask
+from repro.rng import make_rng
+from repro.schedule.lower import lower
+from repro.schedule.sampler import random_config
+from repro.schedule.sketch import generate_sketch
+from repro.search import AnsorPolicy, PrunerPolicy, Tuner, make_tasks
+from repro.search.tuner import TuneResult
+from repro.timemodel import SimClock
+from repro.workloads import network_tasks
+
+SCALES: dict[str, SearchConfig] = {
+    "paper": SearchConfig(),
+    "lite": LITE_SEARCH,
+    "smoke": SMOKE_SEARCH,
+}
+
+_OFFLINE_MODES = {"tensetmlp", "tlp", "pruner-offline", "pruner-offline-no-lse"}
+
+
+def _default_model(method: str, seed: int) -> CostModel:
+    if method == "ansor":
+        return GBDTModel()
+    if method in ("tensetmlp", "metaschedule"):
+        return TenSetMLP(seed=seed)
+    if method == "tlp":
+        return TLPModel(seed=seed)
+    if method == "pruner-no-sf":
+        return PaCM(use_statement=False, seed=seed)
+    if method == "pruner-no-tdf":
+        return PaCM(use_dataflow=False, seed=seed)
+    return PaCM(seed=seed)
+
+
+def _mode_for(method: str) -> str:
+    if method in _OFFLINE_MODES:
+        return "offline"
+    if method == "moa-pruner":
+        return "moa"
+    if method == "pruner-finetune":
+        return "finetune"
+    return "online"
+
+
+def _policy_class(method: str):
+    if method in (
+        "ansor",
+        "tensetmlp",
+        "tlp",
+        "metaschedule",
+        "pruner-no-lse",
+        "pruner-offline-no-lse",
+    ):
+        return AnsorPolicy
+    return PrunerPolicy
+
+
+def elementwise_latency(subgraphs: list[SubgraphTask], device: DeviceSpec) -> float:
+    """Latency of the untuned (element-wise / pooling) network part.
+
+    These subgraphs take a default flat schedule — tuners do not spend
+    trials on them (they are < 3% of programs, paper Section 4.2).
+    """
+    sim = GroundTruthSimulator(device)
+    total = 0.0
+    rng = make_rng(1234)
+    for sub in subgraphs:
+        if sub.workload.is_tiled:
+            continue
+        space = generate_sketch(sub.workload)
+        best = math.inf
+        for _ in range(8):
+            lat = sim.latency(lower(space, random_config(space, rng)))
+            best = min(best, lat)
+        if math.isfinite(best):
+            total += best * sub.weight
+    return total
+
+
+def build_tuner(
+    method: str,
+    subgraphs: list[SubgraphTask],
+    device: DeviceSpec | str,
+    search: SearchConfig | None = None,
+    train: TrainConfig | None = None,
+    pretrained: dict[str, np.ndarray] | None = None,
+    tensorcore: bool = False,
+    seed: int = 0,
+    include_fixed: bool = True,
+) -> Tuner:
+    """Assemble a :class:`~repro.search.tuner.Tuner` for one method.
+
+    ``pretrained`` supplies cost-model parameters for the offline,
+    finetune and MoA modes (see :func:`pretrain_model`).
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    search = search or LITE_SEARCH
+    train = train or ONLINE_TRAIN
+    mode = _mode_for(method)
+    model = _default_model(method, seed)
+
+    adapter = None
+    if mode == "moa":
+        if pretrained is None:
+            raise SearchError("moa-pruner needs pretrained siamese parameters")
+        adapter = MomentumAdapter(pretrained)
+    elif mode in ("offline", "finetune"):
+        if pretrained is None:
+            raise SearchError(f"{method} needs pretrained model parameters")
+        model.set_params(pretrained)
+
+    use_tc = tensorcore or method in ("metaschedule", "pruner-tc")
+    tasks = make_tasks(subgraphs, device, tensorcore=use_tc)
+    if not tasks:
+        raise SearchError("no tiled subgraphs to tune")
+
+    clock = SimClock()
+    runner = MeasureRunner(device, clock=clock, rng=make_rng(seed))
+    policy_cls = _policy_class(method)
+    policies = {
+        t.key: policy_cls(t, model, search=search, clock=clock) for t in tasks
+    }
+    fixed = elementwise_latency(subgraphs, device) if include_fixed else 0.0
+    return Tuner(
+        tasks,
+        policies,
+        model,
+        runner,
+        clock,
+        mode=mode,
+        adapter=adapter,
+        train=train,
+        fixed_latency=fixed,
+        rng=make_rng(seed + 1),
+    )
+
+
+def tune_subgraphs(
+    method: str,
+    subgraphs: list[SubgraphTask],
+    device: DeviceSpec | str,
+    rounds: int = 20,
+    scale: str = "lite",
+    **kwargs,
+) -> TuneResult:
+    """Tune a set of subgraphs and return the result."""
+    search = kwargs.pop("search", None) or SCALES[scale]
+    tuner = build_tuner(method, subgraphs, device, search=search, **kwargs)
+    return tuner.tune(rounds)
+
+
+def tune_network(
+    network: str,
+    device: DeviceSpec | str = "a100",
+    method: str = "pruner",
+    rounds: int = 20,
+    scale: str = "lite",
+    batch: int = 1,
+    top_k_tasks: int | None = None,
+    **kwargs,
+) -> TuneResult:
+    """End-to-end network tuning (graph partition + multi-task search)."""
+    net_kwargs = {}
+    for key in ("dtype", "seq"):
+        if key in kwargs:
+            net_kwargs[key] = kwargs.pop(key)
+    subgraphs = network_tasks(network, batch=batch, top_k=top_k_tasks, **net_kwargs)
+    return tune_subgraphs(method, subgraphs, device, rounds=rounds, scale=scale, **kwargs)
+
+
+def pretrain_model(
+    model: CostModel,
+    subgraphs: list[SubgraphTask],
+    device: DeviceSpec | str,
+    samples_per_task: int = 300,
+    train: TrainConfig | None = None,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Pre-train a cost model on random schedules measured on ``device``.
+
+    Stands in for TenSet pre-training + target-platform fine-tuning
+    (Section 5, "offline tuning mode"); returns the parameter dict for
+    :func:`build_tuner`'s ``pretrained`` argument.
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    sim = GroundTruthSimulator(device)
+    rng = make_rng(seed)
+    progs, lats, keys = [], [], []
+    for sub in subgraphs:
+        if not sub.workload.is_tiled:
+            continue
+        space = generate_sketch(sub.workload)
+        for _ in range(samples_per_task):
+            prog = lower(space, random_config(space, rng))
+            progs.append(prog)
+            lats.append(sim.latency(prog))
+            keys.append(sub.workload.key)
+    model.fit(progs, np.array(lats), keys, train=train or TrainConfig(epochs=40), rng=rng)
+    return model.get_params()

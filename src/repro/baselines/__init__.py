@@ -1,0 +1,35 @@
+"""Baseline tuners and inference frameworks the paper compares against.
+
+Search-based tensor compilers:
+
+* :mod:`repro.baselines.metaschedule` — MetaSchedule (TVM's TensorCore-
+  capable search framework): evolutionary search + MLP cost model.
+* :mod:`repro.baselines.roller` — Roller: rule-based rTile enumeration,
+  ~50 trials per subgraph, no learned model.
+* :mod:`repro.baselines.adatune` — Adatune: Ansor-style search with
+  adaptively early-stopped measurements.
+* :mod:`repro.baselines.felix` — Felix: gradient-style descent on a
+  relaxed tile space (fails on irregular shapes).
+* :mod:`repro.baselines.tlm` — TLM: an offline-trained generative
+  sampler (fails on subgraphs outside its pre-training corpus).
+
+Off-the-shelf frameworks (:mod:`repro.baselines.frameworks`): PyTorch
+(cudaLib), Triton (TorchInductor max-autotune) and Torch-TensorRT as
+vendor-library surrogates.
+"""
+
+from repro.baselines.adatune import AdatuneTuner
+from repro.baselines.felix import FelixTuner
+from repro.baselines.frameworks import framework_latency
+from repro.baselines.metaschedule import build_search_tuner
+from repro.baselines.roller import RollerTuner
+from repro.baselines.tlm import TLMTuner
+
+__all__ = [
+    "AdatuneTuner",
+    "FelixTuner",
+    "framework_latency",
+    "build_search_tuner",
+    "RollerTuner",
+    "TLMTuner",
+]

@@ -1,0 +1,101 @@
+"""Off-the-shelf inference-framework surrogates (paper Section 6.1/6.4).
+
+Network latency under PyTorch / Triton / Torch-TensorRT, modelled per
+the paper's own analysis of why each wins or loses:
+
+* **PyTorch (cudaLib)** — dispatches each op to deeply-tuned cuDNN /
+  cuBLAS kernels (splitK, Winograd available; high per-kernel quality)
+  but executes element-wise epilogues as *separate* kernels (no cross-op
+  fusion in eager mode) with a launch per op.
+* **Triton (TorchInductor max-autotune)** — compiled and fused, tuned
+  over a modest config set; no splitK or Winograd fast paths.
+* **Torch-TensorRT** — library kernels plus graph-level fusion: the
+  strongest baseline, as in Figure 9 ("TensorRT outperforms Pruner in
+  some cases").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.api import elementwise_latency
+from repro.errors import ReproError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.library import LibrarySurrogate
+from repro.ir.partition import SubgraphTask
+
+_FRAMEWORKS = ("pytorch", "triton", "tensorrt")
+
+# PyTorch eager per-op dispatch cost (python + dispatcher + cuDNN
+# heuristic lookup), the dominant overhead for small-batch CNN graphs.
+_EAGER_DISPATCH = 8.0e-6
+
+
+def _surrogate(framework: str, device: DeviceSpec) -> LibrarySurrogate:
+    if framework == "pytorch":
+        return LibrarySurrogate(device, quality=0.92, samples=256, refine_rounds=2)
+    if framework == "triton":
+        return LibrarySurrogate(
+            device,
+            quality=1.0,
+            samples=160,
+            refine_rounds=1,
+            allow_splitk=False,
+            allow_winograd=False,
+        )
+    if framework == "tensorrt":
+        return LibrarySurrogate(device, quality=0.88, samples=256, refine_rounds=2)
+    raise ReproError(f"unknown framework {framework!r}; known: {_FRAMEWORKS}")
+
+
+def framework_op_latency(
+    framework: str,
+    sub: SubgraphTask,
+    device: DeviceSpec,
+    lib: LibrarySurrogate | None = None,
+    tensorcore: bool = False,
+) -> float:
+    """Latency of one fused subgraph under a framework."""
+    lib = lib or _surrogate(framework, device)
+    wl = sub.workload
+    use_tc = tensorcore and wl.tensorcore_eligible and device.has_tensorcore
+    if framework == "pytorch":
+        # eager mode: anchor kernel without epilogues + one element-wise
+        # kernel (2x output traffic + dispatch) per fused op, plus the
+        # framework's own per-op dispatch overhead.
+        anchor = dataclasses.replace(wl, fused_ops=())
+        latency = lib.latency(anchor, tensorcore=use_tc) + _EAGER_DISPATCH
+        epilogue_bytes = wl.output_elems * wl.dtype_bytes * 2
+        per_epilogue = (
+            epilogue_bytes / (device.peak_bw * 0.7)
+            + device.launch_overhead
+            + _EAGER_DISPATCH
+        )
+        return latency + len(wl.fused_ops) * per_epilogue
+    return lib.latency(wl, tensorcore=use_tc)
+
+
+def framework_latency(
+    framework: str,
+    subgraphs: list[SubgraphTask],
+    device: DeviceSpec,
+    tensorcore: bool = False,
+) -> float:
+    """End-to-end weighted network latency under a framework (seconds)."""
+    lib = _surrogate(framework, device)
+    total = 0.0
+    for sub in subgraphs:
+        if not sub.workload.is_tiled:
+            continue
+        lat = framework_op_latency(framework, sub, device, lib, tensorcore)
+        if math.isfinite(lat):
+            total += lat * sub.weight
+    total += elementwise_latency(subgraphs, device)
+    if framework == "pytorch":
+        # eager-mode per-op dispatch overhead on the element-wise part
+        n_elementwise = sum(
+            s.weight for s in subgraphs if not s.workload.is_tiled
+        )
+        total += n_elementwise * (device.launch_overhead + _EAGER_DISPATCH)
+    return total

@@ -1,0 +1,18 @@
+"""MetaSchedule baseline: TVM's TensorCore-capable search framework.
+
+MetaSchedule (Shao et al.) generalizes Ansor with probabilistic
+programs and supports TensorCore sketches.  Behaviourally — which is
+what the paper compares (Section 6.4) — it is an evolutionary search
+guided by a learned MLP cost model over WMMA-constrained schedule
+spaces.  ``build_search_tuner`` is a thin alias of
+:func:`repro.api.build_tuner`; ``method="metaschedule"`` selects the
+evolutionary policy + MLP + TensorCore templates, ``method="pruner-tc"``
+the paper's Pruner-in-MetaSchedule integration (LSE with the TensorCore
+symbol, PaCM with the shared->fragment dataflow block).
+"""
+
+from __future__ import annotations
+
+from repro.api import build_tuner as build_search_tuner
+
+__all__ = ["build_search_tuner"]

@@ -1,0 +1,116 @@
+"""Roller baseline: rule-based rTile enumeration (Zhu et al., OSDI'22).
+
+Roller skips learned cost models entirely: it enumerates *aligned*
+rTiles (tile shapes that match the hardware's warp, transaction and
+memory-bank granularities), scores them with an analytical micro-perf
+model, and measures only a handful (the paper uses 50 trials per
+subgraph).  It is very fast but "easily misses optimal solutions"
+(paper Section 6.1, Table 6) because good-but-unaligned schedules are
+outside its rule set and its model misses device-specific behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable
+from repro.hardware.device import DeviceSpec
+from repro.hardware.measure import MeasureRunner
+from repro.ir.ops import Workload
+from repro.ir.partition import SubgraphTask
+from repro.rng import make_rng
+from repro.schedule.lower import LoweredProgram, lower
+from repro.schedule.sampler import random_config
+from repro.schedule.sketch import generate_sketch
+from repro.timemodel import SimClock
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _aligned(prog: LoweredProgram, device: DeviceSpec) -> bool:
+    """Roller's alignment rules: warp-aligned threads, pow2 tiles."""
+    if prog.threads_per_block % device.warp_size != 0:
+        return False
+    if not 64 <= prog.threads_per_block <= 512:
+        return False
+    for _, factors in prog.config.tiles:
+        if not all(_is_power_of_two(f) or f == prog.workload.loop_extents().get("", 0) for f in factors):
+            # allow non-pow2 only when the axis extent itself is odd-sized
+            if not all(f == 1 or _is_power_of_two(f) for f in factors[1:]):
+                return False
+    return True
+
+
+@dataclass
+class RollerResult:
+    """Outcome of Roller on one subgraph set."""
+
+    latency: float  # end-to-end weighted latency (seconds)
+    per_task: dict[str, float]
+    clock: SimClock
+
+
+class RollerTuner:
+    """Aligned-tile enumeration + analytical scoring + tiny measurement."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        trials: int = 50,
+        enumeration: int = 2048,
+        seed: int = 0,
+    ) -> None:
+        self.device = device
+        self.trials = trials
+        self.enumeration = enumeration
+        self.seed = seed
+        self.analyzer = SymbolBasedAnalyzer(device)
+
+    # ------------------------------------------------------------------
+    def tune_workload(
+        self, workload: Workload, clock: SimClock | None = None
+    ) -> tuple[float, SimClock]:
+        """Tune one workload; returns (best latency, clock)."""
+        clock = clock or SimClock()
+        runner = MeasureRunner(self.device, clock=clock, rng=make_rng(self.seed))
+        space = generate_sketch(workload)
+        rng = make_rng((self.seed, workload.key).__str__().__hash__() & 0xFFFF)
+
+        candidates: dict[str, LoweredProgram] = {}
+        for _ in range(self.enumeration):
+            prog = lower(space, random_config(space, rng))
+            if is_launchable(prog, self.device) and _aligned(prog, self.device):
+                candidates[prog.config.key] = prog
+        pool = list(candidates.values())
+        if not pool:  # fall back: drop alignment if rules match nothing
+            pool = [
+                lower(space, random_config(space, rng)) for _ in range(self.trials * 2)
+            ]
+            pool = [p for p in pool if is_launchable(p, self.device)]
+        clock.charge_sa(len(pool))  # rule-model scoring cost
+        scored = sorted(pool, key=self.analyzer.latency)
+        top = scored[: self.trials]
+        results = runner.measure(top)
+        best = min(
+            (r.latency for r in results if r.valid), default=math.inf
+        )
+        return best, clock
+
+    def tune_subgraphs(self, subgraphs: list[SubgraphTask]) -> RollerResult:
+        """Tune every tiled subgraph with ``trials`` measurements each."""
+        clock = SimClock()
+        per_task: dict[str, float] = {}
+        total = 0.0
+        for sub in subgraphs:
+            if not sub.workload.is_tiled:
+                continue
+            best, _ = self.tune_workload(sub.workload, clock=clock)
+            per_task[sub.workload.key] = best
+            if math.isfinite(best):
+                total += best * sub.weight
+        return RollerResult(latency=total, per_task=per_task, clock=clock)

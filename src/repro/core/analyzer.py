@@ -1,0 +1,91 @@
+"""Symbol-based Analyzer — the draft model (paper Section 4.1, Eq. 1).
+
+An empirical-formula cost model: no learned weights, no feature
+extraction, no GPU inference.  Given the penalty terms it estimates
+
+    U_p = T_p * prod(P_{l_i,c})          (peak-compute utilization)
+    U_m = T_m * prod(P_{l_i,m})          (peak-bandwidth utilization)
+    L_c = S8 / U_p,   L_m = S5 / U_m,    L_total = sum_i (L_c + L_m)
+
+``L_total`` is a *ranking* score, not a calibrated latency: the paper
+uses it only as the GA fitness during the Latent Schedule Explorer and
+to pick S_spec.  The class exposes ablation switches used by Table 10
+(``w/o P_{l_i,c}`` and ``w/o P_{l_i,m}``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.core.penalty import compute_penalties
+from repro.core.symbols import extract_symbols
+from repro.schedule.lower import LoweredProgram
+
+if TYPE_CHECKING:  # runtime-free to avoid a core <-> hardware import cycle
+    from repro.hardware.device import DeviceSpec
+
+
+def is_launchable(prog: LoweredProgram, device: "DeviceSpec") -> bool:
+    """Static hard-constraint check (what TVM rejects before compiling).
+
+    Thread-count and shared-memory limits are architectural constants,
+    so both the draft model and every search policy may filter on them
+    without consulting the device *measurements*.
+    """
+    return (
+        1 <= prog.threads_per_block <= device.max_threads_per_block
+        and prog.smem_bytes <= device.smem_per_block
+        and prog.grid >= 1
+    )
+
+
+@dataclass
+class SymbolBasedAnalyzer:
+    """Draft model: maps a lowered program to an estimated cost.
+
+    Parameters
+    ----------
+    device:
+        Target device abstraction (supplies T_p, T_m and the penalty
+        parameters).
+    use_compute_penalty / use_memory_penalty:
+        Ablation switches (Table 10).  Disabling a group replaces its
+        penalty product with 1.0.
+    """
+
+    device: "DeviceSpec"
+    use_compute_penalty: bool = True
+    use_memory_penalty: bool = True
+
+    def latency(self, prog: LoweredProgram) -> float:
+        """Estimated total latency L_total (seconds; ranking-grade only)."""
+        symbols = extract_symbols(prog)
+        pen = compute_penalties(symbols, self.device, prog.workload.dtype_bytes)
+
+        peak = self.device.peak_for(prog.tensorcore)
+        compute_product = pen.compute_product() if self.use_compute_penalty else 1.0
+        memory_product = pen.memory_product() if self.use_memory_penalty else 1.0
+
+        u_p = peak * max(compute_product, 1e-12)
+        u_m = self.device.peak_bw * max(memory_product, 1e-12)
+
+        l_c = symbols.s8_l2_compute / u_p
+        l_m = symbols.s5_l2_traffic * prog.workload.dtype_bytes / u_m
+        return l_c + l_m
+
+    def score(self, prog: LoweredProgram) -> float:
+        """Hardware-fitness score (higher is better): negated latency.
+
+        Programs that violate hard launch constraints score ``-inf`` so
+        that the GA and PriorFilter never keep them.
+        """
+        if not is_launchable(prog, self.device):
+            return -math.inf
+        return -self.latency(prog)
+
+    def scores(self, progs: list[LoweredProgram]) -> list[float]:
+        """Vectorized convenience wrapper over :meth:`score`."""
+        return [self.score(p) for p in progs]

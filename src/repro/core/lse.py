@@ -1,0 +1,150 @@
+"""Latent Schedule Explorer — the "Draft" stage (paper Algorithm 2).
+
+LSE casts exploration as *hardware-fitness maximisation*: a genetic
+algorithm over tile factorizations whose fitness is the Symbol-based
+Analyzer score — no feature extraction, no learned-model inference.
+Across ``n_steps`` generations it maintains
+
+* the working population ``S_x`` (mutated/crossed each step), and
+* ``S_spec``: the best-``spec_size`` schedules ever seen (PriorFilter).
+
+The output S_spec (paper default 512) is the drafted candidate set the
+learned cost model later verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SearchConfig
+from repro.core.analyzer import SymbolBasedAnalyzer
+from repro.schedule.lower import lower
+from repro.schedule.mutate import crossover, mutate
+from repro.schedule.sampler import random_population
+from repro.schedule.space import ScheduleConfig, ScheduleSpace
+
+
+@dataclass
+class LSEResult:
+    """Outcome of one LSE run.
+
+    ``spec`` is sorted best-first by draft-model fitness; ``n_evals``
+    counts Symbol-based-Analyzer evaluations (for time accounting).
+    """
+
+    spec: list[ScheduleConfig]
+    fitness: dict[str, float] = field(default_factory=dict)
+    n_evals: int = 0
+
+    def top(self, k: int) -> list[ScheduleConfig]:
+        """Best ``k`` drafted schedules."""
+        return self.spec[:k]
+
+
+class LatentScheduleExplorer:
+    """GA over the schedule space guided by the draft model."""
+
+    def __init__(
+        self,
+        analyzer: SymbolBasedAnalyzer,
+        search: SearchConfig | None = None,
+    ) -> None:
+        self.analyzer = analyzer
+        self.search = search or SearchConfig()
+
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        space: ScheduleSpace,
+        rng: np.random.Generator,
+        seeds: list[ScheduleConfig] | None = None,
+    ) -> LSEResult:
+        """Run Algorithm 2 and return the drafted candidate set S_spec.
+
+        ``seeds`` (e.g. the best measured schedules so far) join the
+        initial population together with a few mutations each, so
+        later tuning rounds refine around known-good regions.
+        """
+        cfg = self.search
+        population = random_population(space, rng, cfg.population)
+        for seed in seeds or []:
+            population.append(seed)
+            for _ in range(3):
+                population.append(mutate(seed, space, rng))
+        spec: dict[str, tuple[float, ScheduleConfig]] = {}
+        n_evals = 0
+
+        for _ in range(cfg.ga_steps):
+            scores = self._evaluate(space, population)
+            n_evals += len(population)
+            self._prior_filter(spec, population, scores, cfg.spec_size)
+            population = self._next_generation(space, population, scores, rng)
+
+        # Evaluate the final generation too (Algorithm 2 evaluates at
+        # the top of each step; one last merge keeps its best offspring).
+        scores = self._evaluate(space, population)
+        n_evals += len(population)
+        self._prior_filter(spec, population, scores, cfg.spec_size)
+
+        ordered = sorted(spec.values(), key=lambda t: t[0], reverse=True)
+        return LSEResult(
+            spec=[c for _, c in ordered],
+            fitness={c.key: s for s, c in ordered},
+            n_evals=n_evals,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, space: ScheduleSpace, population: list[ScheduleConfig]
+    ) -> list[float]:
+        """CSA: draft-model fitness of every schedule in the population."""
+        return [self.analyzer.score(lower(space, c)) for c in population]
+
+    @staticmethod
+    def _prior_filter(
+        spec: dict[str, tuple[float, ScheduleConfig]],
+        population: list[ScheduleConfig],
+        scores: list[float],
+        spec_size: int,
+    ) -> None:
+        """Merge the scored population into S_spec, keeping the best."""
+        for config, score in zip(population, scores):
+            if score == float("-inf"):
+                continue  # violates hard launch constraints
+            key = config.key
+            if key not in spec or spec[key][0] < score:
+                spec[key] = (score, config)
+        if len(spec) > spec_size:
+            keep = sorted(spec.items(), key=lambda kv: kv[1][0], reverse=True)
+            for key, _ in keep[spec_size:]:
+                del spec[key]
+
+    def _next_generation(
+        self,
+        space: ScheduleSpace,
+        population: list[ScheduleConfig],
+        scores: list[float],
+        rng: np.random.Generator,
+    ) -> list[ScheduleConfig]:
+        """SchMutation: fitness-weighted selection + crossover + mutation."""
+        cfg = self.search
+        order = np.argsort(scores)[::-1]
+        elite_n = max(2, len(population) // 8)
+        elite = [population[i] for i in order[:elite_n]]
+
+        # Softmax selection weights over ranks (robust to score scale).
+        ranks = np.empty(len(population))
+        ranks[order] = np.arange(len(population))
+        weights = np.exp(-ranks / max(1.0, len(population) / 4.0))
+        weights /= weights.sum()
+
+        children: list[ScheduleConfig] = list(elite)
+        while len(children) < len(population):
+            i, j = rng.choice(len(population), size=2, p=weights)
+            child = crossover(population[int(i)], population[int(j)], space, rng)
+            if rng.random() < cfg.mutation_prob:
+                child = mutate(child, space, rng)
+            children.append(child)
+        return children

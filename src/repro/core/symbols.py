@@ -1,0 +1,98 @@
+"""Hardware-aware symbols (paper Table 2 and Figure 3).
+
+Eight symbols describe a scheduled program's behaviour at the three
+memory levels (L0 = registers, L1 = shared, L2 = global):
+
+=======  ==================  =============================================
+Symbol   Name                Meaning
+=======  ==================  =============================================
+S1       L0MemAlloc          register elements per thread (acc + operands)
+S2       L0CompCount         compute iterations per thread
+S3       L1MemAlloc          shared-memory elements per block
+S4       L1ParaInfo          threads per block
+S5       L2MemFootprint      total global-memory traffic (elements)
+S6       L2ParaInfo          thread blocks in the grid
+S7       L2TransDim          innermost contiguous global-access span
+S8       L2CompCount         total floating-point operations
+=======  ==================  =============================================
+
+For TensorCore programs we add S9 ``TCFragAlign``: how well the
+thread-tile maps onto WMMA 16x16x16 fragments (the symbol the paper
+introduces when integrating Pruner into MetaSchedule, Section 6.4).
+
+Symbols are pure functions of the :class:`~repro.schedule.lower.LoweredProgram`;
+all the products over tile factors (Figure 3) already happened during
+lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.schedule.lower import LoweredProgram
+from repro.schedule.space import WMMA_LANE
+
+
+@dataclass(frozen=True)
+class Symbols:
+    """The S1..S8 (+S9) symbol vector of one scheduled program."""
+
+    s1_l0_alloc: float
+    s2_l0_compute: float
+    s3_l1_alloc: float
+    s4_l1_para: float
+    s5_l2_traffic: float
+    s6_l2_para: float
+    s7_l2_trans: float
+    s8_l2_compute: float
+    s9_tc_align: float = 1.0  # 1.0 = perfectly fragment-aligned / not TC
+
+    def as_tuple(self) -> tuple[float, ...]:
+        """Symbols in S1..S9 order."""
+        return (
+            self.s1_l0_alloc,
+            self.s2_l0_compute,
+            self.s3_l1_alloc,
+            self.s4_l1_para,
+            self.s5_l2_traffic,
+            self.s6_l2_para,
+            self.s7_l2_trans,
+            self.s8_l2_compute,
+            self.s9_tc_align,
+        )
+
+
+def _fragment_alignment(prog: LoweredProgram) -> float:
+    """S9: fraction of issued WMMA lanes doing useful work.
+
+    Thread tiles that are exact multiples of the 16-wide fragment edge
+    score 1.0; ragged tiles waste fragment lanes proportionally.
+    """
+    if not prog.tensorcore:
+        return 1.0
+    spatial = [d.name for d in prog.workload.spatial][-2:]
+    tile = prog.config.tile_map
+    align = 1.0
+    for axis in spatial:
+        f = tile[axis]
+        thread_tile = f[2] * f[3] * f[4]
+        waves = -(-thread_tile // WMMA_LANE)  # ceil
+        align *= thread_tile / (waves * WMMA_LANE)
+    return align
+
+
+@lru_cache(maxsize=65536)
+def extract_symbols(prog: LoweredProgram) -> Symbols:
+    """Extract the hardware-aware symbol vector from a lowered program."""
+    return Symbols(
+        s1_l0_alloc=float(prog.reg_elems),
+        s2_l0_compute=float(prog.thread_compute),
+        s3_l1_alloc=float(prog.smem_elems),
+        s4_l1_para=float(prog.threads_per_block),
+        s5_l2_traffic=float(prog.traffic_elems),
+        s6_l2_para=float(prog.grid),
+        s7_l2_trans=float(prog.trans_span),
+        s8_l2_compute=float(prog.flops),
+        s9_tc_align=_fragment_alignment(prog),
+    )

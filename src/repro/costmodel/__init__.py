@@ -1,0 +1,27 @@
+"""Learned cost models.
+
+* :class:`~repro.costmodel.gbdt.GBDTModel` — gradient-boosted trees over
+  statement features (Ansor's XGBoost default).
+* :class:`~repro.costmodel.mlp.TenSetMLP` — MLP over statement features
+  (TenSet's learned model).
+* :class:`~repro.costmodel.tlp.TLPModel` — transformer over sparse
+  schedule-primitive sequences (TLP).
+* :class:`~repro.costmodel.pacm.PaCM` — the paper's Pattern-aware Cost
+  Model: statement branch + temporal-dataflow attention branch,
+  trained with LambdaRank.
+"""
+
+from repro.costmodel.base import CostModel, make_labels
+from repro.costmodel.gbdt import GBDTModel
+from repro.costmodel.mlp import TenSetMLP
+from repro.costmodel.tlp import TLPModel
+from repro.costmodel.pacm import PaCM
+
+__all__ = [
+    "CostModel",
+    "make_labels",
+    "GBDTModel",
+    "TenSetMLP",
+    "TLPModel",
+    "PaCM",
+]

@@ -1,0 +1,200 @@
+"""Cost-model interface and shared training machinery.
+
+A cost model maps lowered programs to scores (higher = predicted
+faster).  Only the within-task *ranking* of scores is consumed by the
+search policies and by the Top-k metric, matching how TVM uses learned
+models.
+
+Training data is (program, measured latency, task key); labels are the
+task-normalized throughputs ``min_latency / latency`` in (0, 1] (0 for
+invalid programs), as in Ansor/TenSet.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.config import TrainConfig
+from repro.errors import CostModelError
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Module
+from repro.nn.losses import lambdarank_loss, pairwise_rank_accuracy
+from repro.nn.optim import Adam
+from repro.rng import make_rng
+from repro.schedule.lower import LoweredProgram
+
+
+def make_labels(
+    latencies: np.ndarray, group_keys: list[str]
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Normalized throughput labels + per-task index groups.
+
+    Invalid measurements (inf latency) get label 0.
+    """
+    latencies = np.asarray(latencies, dtype=np.float64)
+    labels = np.zeros(len(latencies))
+    groups: dict[str, list[int]] = {}
+    for i, key in enumerate(group_keys):
+        groups.setdefault(key, []).append(i)
+    group_arrays = []
+    for key, idx in groups.items():
+        idx_arr = np.asarray(idx)
+        lat = latencies[idx_arr]
+        finite = lat[np.isfinite(lat)]
+        if len(finite):
+            best = finite.min()
+            with np.errstate(divide="ignore", invalid="ignore"):
+                norm = np.where(np.isfinite(lat), best / lat, 0.0)
+            labels[idx_arr] = norm
+        group_arrays.append(idx_arr)
+    return labels, group_arrays
+
+
+class CostModel(ABC):
+    """Interface all learned cost models implement."""
+
+    kind: str = "base"  # time-accounting key (see repro.timemodel)
+    feature_kind: str = "statement"
+
+    @abstractmethod
+    def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
+        """Scores for a batch (higher = predicted faster)."""
+
+    @abstractmethod
+    def fit(
+        self,
+        progs: list[LoweredProgram],
+        latencies: np.ndarray,
+        group_keys: list[str],
+        train: TrainConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Train on measured data; returns final pairwise rank accuracy."""
+
+    # MoA protocol (NN models override via Module)
+    def get_params(self) -> dict[str, np.ndarray]:  # pragma: no cover
+        raise CostModelError(f"{type(self).__name__} has no parameters")
+
+    def set_params(self, params: dict[str, np.ndarray]) -> None:  # pragma: no cover
+        raise CostModelError(f"{type(self).__name__} has no parameters")
+
+
+class NNCostModel(CostModel):
+    """Shared LambdaRank training loop for the neural cost models.
+
+    Subclasses provide ``self.net`` (a :class:`~repro.nn.layers.Module`)
+    and :meth:`featurize` returning the network input for a batch.
+
+    Inputs are standardized with statistics frozen at the first fit;
+    the statistics are part of :meth:`get_params` so MoA transfers them
+    together with the weights.
+    """
+
+    net: Module
+
+    @abstractmethod
+    def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
+        """Network input array for a batch of programs."""
+
+    # ------------------------------------------------------------------
+    def _norm_stats(self) -> tuple[np.ndarray, np.ndarray] | None:
+        return getattr(self, "_feature_norm", None)
+
+    def _normalize(self, features: np.ndarray, fit: bool = False) -> np.ndarray:
+        stats = self._norm_stats()
+        if stats is None:
+            if not fit:
+                return features
+            flat = features.reshape(-1, features.shape[-1])
+            mu = flat.mean(axis=0)
+            sigma = flat.std(axis=0)
+            sigma[sigma < 1e-6] = 1.0
+            stats = (mu, sigma)
+            self._feature_norm = stats
+        mu, sigma = stats
+        # Clip standardized features: unseen tasks can produce values far
+        # outside the training range, and unbounded z-scores let ReLU
+        # nets extrapolate arbitrarily large scores for single outliers.
+        return np.clip((features - mu) / sigma, -5.0, 5.0)
+
+    def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
+        if not progs:
+            return np.zeros(0)
+        with no_grad():
+            scores = self.net(Tensor(self._normalize(self.featurize(progs))))
+        return scores.data.reshape(-1)
+
+    def fit(
+        self,
+        progs: list[LoweredProgram],
+        latencies: np.ndarray,
+        group_keys: list[str],
+        train: TrainConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        if len(progs) < 2:
+            return 0.0
+        train = train or TrainConfig()
+        rng = rng if rng is not None else make_rng(0)
+        labels, groups = make_labels(latencies, group_keys)
+        features = self._normalize(self.featurize(progs), fit=True)
+        optimizer = Adam(
+            self.net.parameters(),
+            lr=train.learning_rate,
+            weight_decay=train.weight_decay,
+            grad_clip=train.grad_clip,
+        )
+        for _ in range(train.epochs):
+            for group in groups:
+                perm = rng.permutation(group)
+                for start in range(0, len(perm), train.batch_size):
+                    idx = perm[start : start + train.batch_size]
+                    if len(idx) < 2:
+                        continue
+                    optimizer.zero_grad()
+                    scores = self.net(Tensor(features[idx]))
+                    loss = lambdarank_loss(
+                        scores.reshape(len(idx)),
+                        labels[idx],
+                        [np.arange(len(idx))],
+                        rng=rng,
+                    )
+                    loss.backward()
+                    optimizer.step()
+        final = self.predict(progs)
+        return pairwise_rank_accuracy(final, labels, groups)
+
+    def get_params(self) -> dict[str, np.ndarray]:
+        params = self.net.get_params()
+        stats = self._norm_stats()
+        if stats is not None:
+            params["_norm.mu"] = stats[0].copy()
+            params["_norm.sigma"] = stats[1].copy()
+        return params
+
+    def set_params(self, params: dict[str, np.ndarray]) -> None:
+        params = dict(params)
+        mu = params.pop("_norm.mu", None)
+        sigma = params.pop("_norm.sigma", None)
+        if mu is not None and sigma is not None:
+            self._feature_norm = (mu.copy(), sigma.copy())
+        self.net.set_params(params)
+
+
+class RandomModel(CostModel):
+    """Scores at random — the 'no learned model' ablation baseline."""
+
+    kind = "random"
+    feature_kind = "statement"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(seed)
+
+    def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
+        return self._rng.random(len(progs))
+
+    def fit(self, progs, latencies, group_keys, train=None, rng=None) -> float:
+        return 0.5

@@ -1,0 +1,155 @@
+"""Gradient-boosted regression trees (Ansor's XGBoost stand-in).
+
+Ansor's default cost model is XGBoost over statement features.  This is
+a compact reimplementation: depth-limited exact-split regression trees
+boosted on squared error of the normalized-throughput labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import TrainConfig
+from repro.costmodel.base import CostModel, make_labels
+from repro.features.statement import statement_matrix
+from repro.nn.losses import pairwise_rank_accuracy
+from repro.rng import make_rng
+from repro.schedule.lower import LoweredProgram
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class _Tree:
+    """One regression tree (exact greedy splits, depth-limited)."""
+
+    def __init__(self, max_depth: int, min_samples: int) -> None:
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.nodes: list[_Node] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.nodes = []
+        self._grow(x, y, np.arange(len(y)), depth=0)
+
+    def _grow(self, x, y, idx, depth) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(_Node(value=float(y[idx].mean())))
+        if depth >= self.max_depth or len(idx) < 2 * self.min_samples:
+            return node_id
+        best = self._best_split(x, y, idx)
+        if best is None:
+            return node_id
+        feature, threshold, left_idx, right_idx = best
+        node = self.nodes[node_id]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x, y, left_idx, depth + 1)
+        node.right = self._grow(x, y, right_idx, depth + 1)
+        return node_id
+
+    def _best_split(self, x, y, idx):
+        y_sub = y[idx]
+        n = len(idx)
+        base_sse = float(((y_sub - y_sub.mean()) ** 2).sum())
+        best_gain, best = 1e-9, None
+        for f in range(x.shape[1]):
+            values = x[idx, f]
+            order = np.argsort(values, kind="stable")
+            v_sorted, y_sorted = values[order], y_sub[order]
+            prefix = np.cumsum(y_sorted)
+            prefix_sq = np.cumsum(y_sorted**2)
+            total, total_sq = prefix[-1], prefix_sq[-1]
+            for cut in range(self.min_samples, n - self.min_samples):
+                if v_sorted[cut] == v_sorted[cut - 1]:
+                    continue
+                nl = cut
+                sse_l = prefix_sq[cut - 1] - prefix[cut - 1] ** 2 / nl
+                nr = n - cut
+                sum_r = total - prefix[cut - 1]
+                sse_r = (total_sq - prefix_sq[cut - 1]) - sum_r**2 / nr
+                gain = base_sse - (sse_l + sse_r)
+                if gain > best_gain:
+                    threshold = 0.5 * (v_sorted[cut] + v_sorted[cut - 1])
+                    best_gain = gain
+                    best = (f, threshold, order[:cut], order[cut:])
+        if best is None:
+            return None
+        f, threshold, lo, ro = best
+        return f, threshold, idx[lo], idx[ro]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self.nodes[0]
+            while not node.is_leaf:
+                node = self.nodes[node.left if row[node.feature] <= node.threshold else node.right]
+            out[i] = node.value
+        return out
+
+
+class GBDTModel(CostModel):
+    """Boosted-tree cost model over statement features."""
+
+    kind = "gbdt"
+    feature_kind = "statement"
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 3,
+        learning_rate: float = 0.2,
+        min_samples: int = 4,
+    ) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.min_samples = min_samples
+        self._trees: list[_Tree] = []
+        self._base: float = 0.0
+
+    def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
+        if not progs:
+            return np.zeros(0)
+        x = statement_matrix(progs)
+        pred = np.full(len(progs), self._base)
+        for tree in self._trees:
+            pred += self.learning_rate * tree.predict(x)
+        return pred
+
+    def fit(
+        self,
+        progs: list[LoweredProgram],
+        latencies: np.ndarray,
+        group_keys: list[str],
+        train: TrainConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        if len(progs) < 4:
+            return 0.0
+        labels, groups = make_labels(latencies, group_keys)
+        x = statement_matrix(progs)
+        self._trees = []
+        self._base = float(labels.mean())
+        residual = labels - self._base
+        pred = np.full(len(labels), self._base)
+        for _ in range(self.n_trees):
+            tree = _Tree(self.max_depth, self.min_samples)
+            tree.fit(x, residual)
+            update = tree.predict(x)
+            pred += self.learning_rate * update
+            residual = labels - pred
+            self._trees.append(tree)
+        return pairwise_rank_accuracy(pred, labels, groups)

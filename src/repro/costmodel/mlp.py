@@ -1,0 +1,36 @@
+"""TenSetMLP: multi-layer perceptron over statement features.
+
+TenSet's learned model (and Ansor's strongest configuration): a small
+MLP on hand-engineered statement features.  Cheap to train and run —
+its ceiling is set by the features (paper Section 4.2: single-statement
+feature designs "fail to adequately characterize the behaviors of
+tensor programs").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.base import NNCostModel
+from repro.features.statement import STATEMENT_DIM, statement_matrix
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.schedule.lower import LoweredProgram
+
+
+class TenSetMLP(NNCostModel):
+    """MLP cost model (statement features -> score)."""
+
+    kind = "mlp"
+    feature_kind = "statement"
+
+    def __init__(self, hidden: int = 64, seed: int = 0) -> None:
+        self.net = Sequential(
+            Linear(STATEMENT_DIM, hidden, seed=seed),
+            ReLU(),
+            Linear(hidden, hidden, seed=seed + 1),
+            ReLU(),
+            Linear(hidden, 1, seed=seed + 2),
+        )
+
+    def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
+        return statement_matrix(progs)

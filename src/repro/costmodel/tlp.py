@@ -1,0 +1,59 @@
+"""TLP: transformer over schedule-primitive sequences.
+
+Reimplementation of TLP's cost model: feature extraction straight from
+high-level schedule primitives (cheap, no lowering analysis) encoded as
+sparse one-hots, fed to a small transformer.  As the paper discusses
+(Section 2.3(2)), the sparsity makes this model data-hungry: it shines
+with large offline corpora and struggles in online tuning — behaviour
+that emerges naturally here (see the Figure 15 benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.base import NNCostModel
+from repro.features.primitives import PRIMITIVE_DIM, PRIMITIVE_SEQ, primitive_tensor
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sequential,
+)
+from repro.schedule.lower import LoweredProgram
+
+
+class _TLPNet(Module):
+    """Token embedding -> self-attention block -> mean pool -> head."""
+
+    def __init__(self, d_model: int = 32, seed: int = 0) -> None:
+        self.embed = Linear(PRIMITIVE_DIM, d_model, seed=seed)
+        self.attn = MultiHeadSelfAttention(d_model, heads=2, seed=seed + 10)
+        self.norm = LayerNorm(d_model)
+        self.head = Sequential(
+            Linear(d_model, d_model, seed=seed + 20),
+            ReLU(),
+            Linear(d_model, 1, seed=seed + 21),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:  # (N, T, F)
+        h = self.embed(x)
+        h = self.norm(h + self.attn(h))
+        pooled = h.mean(axis=1)  # (N, d)
+        return self.head(pooled)
+
+
+class TLPModel(NNCostModel):
+    """Transformer cost model over primitive sequences."""
+
+    kind = "tlp"
+    feature_kind = "primitives"
+
+    def __init__(self, d_model: int = 32, seed: int = 0) -> None:
+        self.net = _TLPNet(d_model=d_model, seed=seed)
+
+    def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
+        return primitive_tensor(progs)

@@ -1,0 +1,11 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every public function returns a plain dict (JSON-serializable summary)
+and accepts a ``scale`` argument (``smoke`` / ``lite`` / ``full``); the
+benchmarks run ``lite``.  See DESIGN.md §3 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments.common import Scale, get_scale, print_table, save_results
+
+__all__ = ["Scale", "get_scale", "save_results", "print_table"]

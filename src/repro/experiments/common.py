@@ -1,0 +1,242 @@
+"""Shared experiment machinery: scales, runners, caching, reporting."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import api
+from repro.config import SearchConfig, TrainConfig
+from repro.costmodel import PaCM, TenSetMLP, TLPModel
+from repro.errors import ReproError
+from repro.hardware.device import get_device
+from repro.ir.partition import SubgraphTask
+from repro.search.tuner import TuneResult
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment size preset.
+
+    ``full`` restores the paper's settings (2,000 trials, S_spec = 512,
+    thousands of explored candidates per round); ``lite`` is the default
+    for the benchmark suite; ``smoke`` is for tests.
+    """
+
+    name: str
+    search: SearchConfig
+    rounds: int
+    tasks_per_network: int
+    dataset_schedules: int
+    pretrain_samples: int
+    train: TrainConfig
+    offline_train: TrainConfig
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        search=SearchConfig(population=16, ga_steps=2, spec_size=12),
+        rounds=6,
+        tasks_per_network=2,
+        dataset_schedules=60,
+        pretrain_samples=60,
+        train=TrainConfig(epochs=4),
+        offline_train=TrainConfig(epochs=10),
+    ),
+    "lite": Scale(
+        name="lite",
+        search=SearchConfig(population=64, ga_steps=3, spec_size=48),
+        rounds=16,
+        tasks_per_network=4,
+        dataset_schedules=220,
+        pretrain_samples=220,
+        train=TrainConfig(epochs=6),
+        offline_train=TrainConfig(epochs=40),
+    ),
+    "full": Scale(
+        name="full",
+        search=SearchConfig(),  # population 512, spec 512 (paper)
+        rounds=200,
+        tasks_per_network=30,
+        dataset_schedules=4000,
+        pretrain_samples=1000,
+        train=TrainConfig(epochs=8),
+        offline_train=TrainConfig(epochs=60),
+    ),
+}
+
+
+def get_scale(scale: str | Scale) -> Scale:
+    """Resolve a scale preset by name."""
+    if isinstance(scale, Scale):
+        return scale
+    if scale not in SCALES:
+        raise ReproError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+# ----------------------------------------------------------------------
+# pretrained-parameter cache (disk-backed: shared across test processes)
+# ----------------------------------------------------------------------
+_MEM_CACHE: dict[str, dict[str, np.ndarray]] = {}
+
+
+def _cache_path(key: str) -> Path:
+    safe = key.replace("/", "_").replace("|", "_").replace("@", "_")
+    return RESULTS_DIR / "cache" / f"{safe}.npz"
+
+
+def pretrained_params(
+    model_kind: str,
+    device_name: str,
+    subgraphs: list[SubgraphTask],
+    scale: Scale,
+    corpus_tag: str,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Pre-train (or load cached) cost-model parameters.
+
+    ``corpus_tag`` names the corpus so distinct experiments don't share
+    stale caches; the cache key also covers model, device and scale.
+    """
+    key = f"{model_kind}-{device_name}-{corpus_tag}-{scale.name}-s{seed}"
+    if key in _MEM_CACHE:
+        return _MEM_CACHE[key]
+    path = _cache_path(key)
+    if path.exists():
+        with np.load(path) as data:
+            params = {name: data[name] for name in data.files}
+        _MEM_CACHE[key] = params
+        return params
+
+    model = {"pacm": PaCM, "mlp": TenSetMLP, "tlp": TLPModel}[model_kind]()
+    params = api.pretrain_model(
+        model,
+        subgraphs,
+        device_name,
+        samples_per_task=scale.pretrain_samples,
+        train=scale.offline_train,
+        seed=seed,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **params)
+    _MEM_CACHE[key] = params
+    return params
+
+
+_METHOD_MODEL = {
+    "tensetmlp": "mlp",
+    "tlp": "tlp",
+    "pruner-offline": "pacm",
+    "pruner-offline-no-lse": "pacm",
+    "moa-pruner": "pacm",
+    "pruner-finetune": "pacm",
+}
+
+#: cross-platform pre-training platform for MoA (paper: TenSet K80-6M)
+MOA_SOURCE_DEVICE = "k80"
+
+
+def run_tuning(
+    method: str,
+    subgraphs: list[SubgraphTask],
+    device: str,
+    scale: Scale,
+    corpus_tag: str,
+    rounds: int | None = None,
+    tensorcore: bool = False,
+    seed: int = 0,
+) -> TuneResult:
+    """Run one tuning method end to end, handling pre-training needs."""
+    pretrained = None
+    if method in _METHOD_MODEL:
+        # MoA / finetune: cross-platform siamese; offline: target platform.
+        source = (
+            MOA_SOURCE_DEVICE
+            if method in ("moa-pruner", "pruner-finetune")
+            else device
+        )
+        pretrained = pretrained_params(
+            _METHOD_MODEL[method], source, subgraphs, scale, corpus_tag, seed=seed
+        )
+    tuner = api.build_tuner(
+        method,
+        subgraphs,
+        device,
+        search=scale.search,
+        train=scale.train,
+        pretrained=pretrained,
+        tensorcore=tensorcore,
+        seed=seed,
+    )
+    return tuner.tune(rounds if rounds is not None else scale.rounds)
+
+
+# ----------------------------------------------------------------------
+# reporting helpers
+# ----------------------------------------------------------------------
+def save_results(name: str, payload: dict) -> Path:
+    """Write an experiment summary to benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=_json_default))
+    return path
+
+
+def _json_default(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return str(value)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Pretty-print an experiment table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "X"
+        if value == 0 or 0.01 <= abs(value) < 10000:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.3e}"
+    return str(value)
+
+
+def normalized_performance(latencies: dict[str, float]) -> dict[str, float]:
+    """Latency dict -> normalized perf (1.0 = fastest; 0 for failures)."""
+    finite = [v for v in latencies.values() if math.isfinite(v) and v > 0]
+    if not finite:
+        return {k: 0.0 for k in latencies}
+    best = min(finite)
+    return {
+        k: (best / v if math.isfinite(v) and v > 0 else 0.0)
+        for k, v in latencies.items()
+    }
+
+
+def speedup_to_reach(result_fast: TuneResult, result_slow: TuneResult) -> float:
+    """Search-time speedup: slow method's total time over fast method's
+    time to first reach the slow method's final latency (Fig. 7 metric)."""
+    target = result_slow.final_latency
+    t = result_fast.time_to(target)
+    if not math.isfinite(t) or t <= 0:
+        return float("nan")
+    return result_slow.clock.total / t

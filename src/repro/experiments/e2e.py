@@ -1,0 +1,138 @@
+"""End-to-end workload benchmarks: Figures 6/7 and Table 5."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import (
+    Scale,
+    get_scale,
+    run_tuning,
+    speedup_to_reach,
+)
+from repro.search.tuner import TuneResult
+from repro.workloads import network_tasks
+
+ONLINE_METHODS = ("ansor", "pruner", "moa-pruner")
+OFFLINE_METHODS = ("tensetmlp", "tlp", "pruner-offline")
+
+#: paper Fig. 6/7 headline speedups (online vs Ansor; offline vs baselines)
+PAPER_SPEEDUPS = {
+    "pruner_vs_ansor": 2.6,
+    "moa_pruner_vs_ansor": 4.82,
+    "pruner_vs_tensetmlp": 4.75,
+    "pruner_vs_tlp": 4.05,
+}
+
+
+def _curve_points(result: TuneResult) -> list[list[float]]:
+    return [
+        [p.sim_time, p.latency * 1e3 if math.isfinite(p.latency) else None]
+        for p in result.curve
+    ]
+
+
+def tuning_curves(
+    scale: str | Scale = "lite",
+    networks: tuple[str, ...] = ("resnet50", "bert_base"),
+    devices: tuple[str, ...] = ("a100",),
+    online: tuple[str, ...] = ONLINE_METHODS,
+    offline: tuple[str, ...] = OFFLINE_METHODS,
+) -> dict:
+    """Figure 6: tuning curves, online and offline modes."""
+    scale = get_scale(scale)
+    out: dict = {"scale": scale.name, "curves": {}, "final_ms": {}}
+    for net in networks:
+        subs = network_tasks(net, top_k=scale.tasks_per_network)
+        for device in devices:
+            for method in tuple(online) + tuple(offline):
+                result = run_tuning(
+                    method, subs, device, scale, corpus_tag=f"f6-{net}"
+                )
+                key = f"{net}/{device}/{method}"
+                out["curves"][key] = _curve_points(result)
+                out["final_ms"][key] = result.final_latency * 1e3
+    return out
+
+
+def search_time_speedups(
+    scale: str | Scale = "lite",
+    networks: tuple[str, ...] = ("resnet50", "mobilenet_v2", "bert_tiny", "vit"),
+    device: str = "a100",
+) -> dict:
+    """Figure 7: search time for Pruner to reach each baseline's best.
+
+    For every network, runs the baseline to completion and measures how
+    much faster Pruner / MoA-Pruner reach the baseline's final latency.
+    """
+    scale = get_scale(scale)
+    out: dict = {"scale": scale.name, "paper": PAPER_SPEEDUPS, "speedups": {}}
+    sums: dict[str, list[float]] = {}
+    for net in networks:
+        subs = network_tasks(net, top_k=scale.tasks_per_network)
+        tag = f"f7-{net}"
+        baselines = {
+            "ansor": run_tuning("ansor", subs, device, scale, tag),
+            "tensetmlp": run_tuning("tensetmlp", subs, device, scale, tag),
+            "tlp": run_tuning("tlp", subs, device, scale, tag),
+        }
+        fast = {
+            "pruner": run_tuning("pruner", subs, device, scale, tag),
+            "moa-pruner": run_tuning("moa-pruner", subs, device, scale, tag),
+            "pruner-offline": run_tuning("pruner-offline", subs, device, scale, tag),
+        }
+        per_net = {}
+        for pair in (
+            ("pruner", "ansor"),
+            ("moa-pruner", "ansor"),
+            ("pruner-offline", "tensetmlp"),
+            ("pruner-offline", "tlp"),
+        ):
+            s = speedup_to_reach(fast[pair[0]], baselines[pair[1]])
+            per_net[f"{pair[0]}_vs_{pair[1]}"] = s
+            if not math.isnan(s):
+                sums.setdefault(f"{pair[0]}_vs_{pair[1]}", []).append(s)
+        out["speedups"][net] = per_net
+    out["geomean"] = {
+        k: float(math.exp(sum(math.log(max(v, 1e-9)) for v in vals) / len(vals)))
+        for k, vals in sums.items()
+    }
+    return out
+
+
+def pruner_vs_more_trials(
+    scale: str | Scale = "lite",
+    networks: tuple[str, ...] = ("resnet50", "inception_v3", "bert_base", "bert_tiny"),
+    device: str = "a100",
+    trial_multiplier: int = 3,
+) -> dict:
+    """Table 5: MoA-Pruner (2k trials) vs Ansor with many more trials
+    and TenSet's transfer strategy (2k trials)."""
+    scale = get_scale(scale)
+    out: dict = {"scale": scale.name, "rows": {}}
+    for net in networks:
+        subs = network_tasks(net, top_k=scale.tasks_per_network)
+        tag = f"t5-{net}"
+        ansor = run_tuning(
+            "ansor", subs, device, scale, tag, rounds=scale.rounds * trial_multiplier
+        )
+        tenset = run_tuning("tensetmlp", subs, device, scale, tag)
+        moa = run_tuning("moa-pruner", subs, device, scale, tag)
+        out["rows"][net] = {
+            "ansor_more_trials": {
+                "trials": ansor.total_trials,
+                "perf_ms": ansor.final_latency * 1e3,
+                "cost_min": ansor.clock.total / 60.0,
+            },
+            "tenset_transfer": {
+                "trials": tenset.total_trials,
+                "perf_ms": tenset.final_latency * 1e3,
+                "cost_min": tenset.clock.total / 60.0,
+            },
+            "moa_pruner": {
+                "trials": moa.total_trials,
+                "perf_ms": moa.final_latency * 1e3,
+                "cost_min": moa.clock.total / 60.0,
+            },
+        }
+    return out

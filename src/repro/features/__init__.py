@@ -1,0 +1,29 @@
+"""Feature extraction for learned cost models.
+
+Three views of a scheduled program, mirroring the paper's comparison:
+
+* :mod:`repro.features.statement`  — aggregated statement-level features
+  (Ansor / TenSetMLP style; the paper's "naive statement features").
+* :mod:`repro.features.dataflow`   — temporal dataflow features: one
+  23-dimensional embedding per data-movement block of the multi-tiling
+  pattern, padded to a (10, 23) sequence (paper Figure 4; PaCM's key
+  input).  Element-wise programs are zero-padded, as in the paper.
+* :mod:`repro.features.primitives` — schedule-primitive sequences with
+  one-hot factor buckets (TLP style; intentionally sparse, which is why
+  TLP needs large pre-training corpora — Section 2.3(2)).
+"""
+
+from repro.features.statement import STATEMENT_DIM, statement_features
+from repro.features.dataflow import DATAFLOW_BLOCKS, DATAFLOW_DIM, dataflow_features
+from repro.features.primitives import PRIMITIVE_DIM, PRIMITIVE_SEQ, primitive_features
+
+__all__ = [
+    "STATEMENT_DIM",
+    "statement_features",
+    "DATAFLOW_BLOCKS",
+    "DATAFLOW_DIM",
+    "dataflow_features",
+    "PRIMITIVE_DIM",
+    "PRIMITIVE_SEQ",
+    "primitive_features",
+]

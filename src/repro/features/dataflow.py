@@ -1,0 +1,88 @@
+"""Temporal dataflow features — PaCM's key input (paper Section 4.2).
+
+Every data-movement block of the multi-tiling pattern (init, global->
+shared loads, shared->fragment staging, compute, store) is encoded as a
+23-dimensional vector:
+
+====== ======================================================
+index  content
+====== ======================================================
+0      compute: log FLOPs attributed to the block
+1-6    block kind one-hot (init/load/fragment/compute/store/stream)
+7-10   source memory level one-hot (L0/L1/L2/fragment)
+11-14  destination memory level one-hot
+15     log traffic volume (bytes across the boundary)
+16     log destination allocation size
+17     log data reuse at the destination
+18     log innermost contiguous span
+19     transaction-alignment fraction (span mod 32)
+20     vectorization width (log)
+21     element size relative to fp32
+22     alloc size: log destination allocation in bytes
+====== ======================================================
+
+Matching Figure 4's ``Dim(10, 23)``, programs are padded to
+``DATAFLOW_BLOCKS = 10`` blocks; element-wise operators (which have no
+multi-tiling pattern) carry a single ``stream`` block and are otherwise
+zero-padded — "requiring no additional computational overhead".
+
+Every value is tied to its program's tile factors, so two different
+schedules virtually never produce identical sequences: the feature
+diversity the paper contrasts with TLP's sparse one-hots.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.schedule.lower import DataflowBlock, LoweredProgram
+
+DATAFLOW_BLOCKS = 10
+DATAFLOW_DIM = 23
+
+_KINDS = ("init", "load", "fragment", "compute", "store", "stream")
+_LEVELS = (0, 1, 2, 3)  # L0 regs, L1 shared, L2 global, fragment
+
+
+def _lg(x: float) -> float:
+    return math.log2(1.0 + max(0.0, x)) / 16.0
+
+
+def _encode_block(block: DataflowBlock) -> list[float]:
+    vec = [_lg(block.compute_ops)]
+    vec += [1.0 if block.kind == k else 0.0 for k in _KINDS]
+    vec += [1.0 if block.src_level == lv else 0.0 for lv in _LEVELS]
+    vec += [1.0 if block.dst_level == lv else 0.0 for lv in _LEVELS]
+    vec += [
+        _lg(block.traffic_elems * block.dtype_bytes),
+        _lg(block.alloc_elems),
+        _lg(block.reuse),
+        _lg(block.innermost_span),
+        (block.innermost_span % 32) / 32.0,
+        _lg(block.vector),
+        block.dtype_bytes / 4.0,
+        _lg(block.alloc_elems * block.dtype_bytes),
+    ]
+    assert len(vec) == DATAFLOW_DIM
+    return vec
+
+
+@lru_cache(maxsize=65536)
+def _dataflow_features_cached(prog: LoweredProgram) -> tuple[tuple[float, ...], ...]:
+    rows = [tuple(_encode_block(b)) for b in prog.blocks[:DATAFLOW_BLOCKS]]
+    pad = (0.0,) * DATAFLOW_DIM
+    rows += [pad] * (DATAFLOW_BLOCKS - len(rows))
+    return tuple(rows)
+
+
+def dataflow_features(prog: LoweredProgram) -> np.ndarray:
+    """Temporal dataflow sequence of shape ``(DATAFLOW_BLOCKS, DATAFLOW_DIM)``."""
+    return np.asarray(_dataflow_features_cached(prog), dtype=np.float64)
+
+
+def dataflow_tensor(progs: list[LoweredProgram]) -> np.ndarray:
+    """Batch of dataflow sequences: shape (N, DATAFLOW_BLOCKS, DATAFLOW_DIM)."""
+    return np.stack([dataflow_features(p) for p in progs])

@@ -1,0 +1,83 @@
+"""Statement-level features (Ansor / TenSetMLP style).
+
+Ansor extracts 164 hand-engineered values per innermost statement; this
+reproduction uses a compact 40-dimensional aggregate with the same
+information classes: arithmetic counts, buffer-access statistics,
+parallelism, and annotations.
+
+Deliberately *coarser* than the dataflow view (matching the paper's
+finding that statement features alone under-describe program behaviour,
+Section 4.2): per-thread register structure (accumulator tile vs
+operand tiles, vthread split) is only visible as the aggregate register
+count, so instruction-level-parallelism effects are not separable from
+these features alone.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.schedule.lower import LoweredProgram
+
+STATEMENT_DIM = 40
+
+_UNROLLS = (0, 16, 64, 512)
+_VECTORS = (1, 2, 4)
+_TAGS = ("matmul", "conv2d", "depthwise", "conv2d_transpose", "pool", "elementwise")
+
+
+def _lg(x: float) -> float:
+    """log2 scaling, normalized to roughly [0, 2.5]."""
+    return math.log2(1.0 + max(0.0, x)) / 16.0
+
+
+@lru_cache(maxsize=65536)
+def _statement_features_cached(prog: LoweredProgram) -> tuple[float, ...]:
+    wl = prog.workload
+    threads = prog.threads_per_block
+    warps = -(-threads // 32)  # warp size is universal across CUDA GPUs
+    feats: list[float] = [
+        _lg(prog.flops),
+        _lg(prog.traffic_elems * wl.dtype_bytes),
+        _lg(wl.output_elems),
+        _lg(wl.arithmetic_intensity()),
+        _lg(threads),
+        _lg(prog.grid),
+        _lg(prog.reg_elems),
+        _lg(prog.smem_bytes),
+        _lg(prog.trans_span),
+        _lg(prog.splitk),
+        wl.dtype_bytes / 4.0,
+        float(len(wl.fused_ops)) / 4.0,
+        1.0 if prog.tensorcore else 0.0,
+        threads / (warps * 32.0),  # warp-occupancy fraction
+        (threads % 32) / 32.0,  # partial-warp remainder
+        _lg(warps),
+        _lg(len(wl.reduction)),
+    ]
+    # annotation one-hots
+    feats += [1.0 if prog.unroll == u else 0.0 for u in _UNROLLS]
+    feats += [1.0 if prog.vector == v else 0.0 for v in _VECTORS]
+    # operator-class one-hot
+    feats += [1.0 if wl.tag == t else 0.0 for t in _TAGS]
+    # per-input-buffer access statistics (up to 3 buffers, 3 values each)
+    loads = [b for b in prog.blocks if b.kind == "load"][:3]
+    for b in loads:
+        feats += [_lg(b.traffic_elems), _lg(b.alloc_elems), _lg(b.innermost_span)]
+    feats += [0.0] * (3 * (3 - len(loads)))
+    # padding to the fixed width
+    feats += [0.0] * (STATEMENT_DIM - len(feats))
+    return tuple(feats[:STATEMENT_DIM])
+
+
+def statement_features(prog: LoweredProgram) -> np.ndarray:
+    """Feature vector of shape ``(STATEMENT_DIM,)`` for one program."""
+    return np.asarray(_statement_features_cached(prog), dtype=np.float64)
+
+
+def statement_matrix(progs: list[LoweredProgram]) -> np.ndarray:
+    """Stack statement features for a batch: shape (N, STATEMENT_DIM)."""
+    return np.stack([statement_features(p) for p in progs])

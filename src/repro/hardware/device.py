@@ -1,0 +1,155 @@
+"""Device abstraction: the ``d`` of the paper's Algorithms 1-2.
+
+A :class:`DeviceSpec` carries both the *penalty parameters* the
+Symbol-based Analyzer consumes (m_l0, m_l1, pu_l1, n_l1, pu_l2, n_l2,
+T_p, T_m — Section 4.1) and the extra micro-architectural limits the
+ground-truth simulator uses (occupancy limits, register files, ...).
+
+Presets cover the paper's platforms: **A100**, **TITAN V**, **Jetson
+Orin-AGX** (evaluation targets) and **T4**, **K80** (TenSet dataset
+platforms used for offline pre-training and dataset metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU-like accelerator.
+
+    Penalty-facing fields (paper notation in parentheses):
+
+    * ``max_regs_per_thread`` (m_l0): L0 allocation limit, in elements.
+    * ``smem_per_block`` (m_l1): L1 allocation limit per block, bytes.
+    * ``warp_schedulers`` (pu_l1): concurrently active L1 scheduling
+      units per SM.
+    * ``warp_size`` (n_l1): scheduling granularity at L1.
+    * ``sms`` (pu_l2): concurrently schedulable L2 blocks (SM count).
+    * ``transaction_elems`` (n_l2): L2 memory transaction length.
+    * ``peak_flops`` (T_p) / ``peak_bw`` (T_m): theoretical peaks.
+    """
+
+    name: str
+    sms: int
+    peak_flops: float  # FP32 FLOP/s (T_p)
+    peak_bw: float  # bytes/s (T_m)
+    tc_peak_flops: float = 0.0  # FP16 TensorCore FLOP/s
+    warp_size: int = 32
+    warp_schedulers: int = 4
+    transaction_elems: int = 32
+    max_regs_per_thread: int = 255
+    smem_per_block: int = 48 * 1024
+    # simulator-only micro-architecture limits
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    max_warps_per_sm: int = 64
+    regs_per_sm: int = 65536
+    smem_per_sm: int = 96 * 1024
+    launch_overhead: float = 4.0e-6  # seconds per kernel launch
+    residual_scale: float = 0.18  # amplitude of the device-specific residual
+
+    def __post_init__(self) -> None:
+        if self.sms < 1 or self.peak_flops <= 0 or self.peak_bw <= 0:
+            raise DeviceError(f"invalid device parameters for {self.name!r}")
+
+    @property
+    def has_tensorcore(self) -> bool:
+        """True if the device exposes TensorCores (fp16 WMMA path)."""
+        return self.tc_peak_flops > 0
+
+    def peak_for(self, tensorcore: bool) -> float:
+        """Peak FLOP/s for the requested execution path."""
+        if tensorcore:
+            if not self.has_tensorcore:
+                raise DeviceError(f"{self.name} has no TensorCores")
+            return self.tc_peak_flops
+        return self.peak_flops
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_PRESETS: dict[str, DeviceSpec] = {
+    "a100": DeviceSpec(
+        name="a100",
+        sms=108,
+        peak_flops=19.5e12,
+        peak_bw=1555e9,
+        tc_peak_flops=312e12,
+        smem_per_block=96 * 1024,
+        smem_per_sm=164 * 1024,
+        regs_per_sm=65536,
+        max_threads_per_sm=2048,
+        launch_overhead=3.0e-6,
+        residual_scale=0.18,
+    ),
+    "titanv": DeviceSpec(
+        name="titanv",
+        sms=80,
+        peak_flops=14.9e12,
+        peak_bw=652e9,
+        tc_peak_flops=110e12,
+        smem_per_block=48 * 1024,
+        smem_per_sm=96 * 1024,
+        launch_overhead=4.0e-6,
+        residual_scale=0.20,
+    ),
+    "orin": DeviceSpec(
+        name="orin",
+        sms=16,
+        peak_flops=5.32e12,
+        peak_bw=204e9,
+        tc_peak_flops=85e12,
+        smem_per_block=48 * 1024,
+        smem_per_sm=164 * 1024,
+        max_threads_per_sm=1536,
+        max_warps_per_sm=48,
+        launch_overhead=6.0e-6,
+        residual_scale=0.22,
+    ),
+    "t4": DeviceSpec(
+        name="t4",
+        sms=40,
+        peak_flops=8.1e12,
+        peak_bw=320e9,
+        tc_peak_flops=65e12,
+        smem_per_block=48 * 1024,
+        smem_per_sm=64 * 1024,
+        max_threads_per_sm=1024,
+        max_warps_per_sm=32,
+        launch_overhead=4.0e-6,
+        residual_scale=0.20,
+    ),
+    "k80": DeviceSpec(
+        name="k80",
+        sms=13,
+        peak_flops=4.37e12,
+        peak_bw=240e9,
+        tc_peak_flops=0.0,
+        smem_per_block=48 * 1024,
+        smem_per_sm=112 * 1024,
+        regs_per_sm=131072,
+        launch_overhead=8.0e-6,
+        residual_scale=0.24,
+    ),
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by (case-insensitive) name."""
+    key = name.lower().replace("-", "").replace("_", "")
+    aliases = {"jetsonorin": "orin", "orinagx": "orin", "titan": "titanv", "titanv": "titanv"}
+    key = aliases.get(key, key)
+    if key not in _PRESETS:
+        raise DeviceError(f"unknown device {name!r}; known: {sorted(_PRESETS)}")
+    return _PRESETS[key]
+
+
+def list_devices() -> list[str]:
+    """Names of all built-in device presets."""
+    return sorted(_PRESETS)

@@ -1,0 +1,85 @@
+"""On-device measurement harness (simulated).
+
+Wraps the ground-truth simulator with
+
+* multiplicative log-normal measurement noise (run-to-run jitter),
+* simulated wall-clock accounting: every trial costs compile/launch
+  overhead plus ``latency * repeats`` seconds on the
+  :class:`~repro.timemodel.SimClock` — the "Measurement" row of the
+  paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.simulator import GroundTruthSimulator
+from repro.rng import make_rng
+from repro.schedule.lower import LoweredProgram
+from repro.timemodel import SimClock
+
+
+@dataclass(frozen=True)
+class MeasureResult:
+    """One measured trial."""
+
+    prog: LoweredProgram
+    latency: float  # seconds, noise included; inf for invalid programs
+    valid: bool
+
+    @property
+    def throughput(self) -> float:
+        """FLOP/s achieved (0 for invalid programs)."""
+        if not self.valid or not math.isfinite(self.latency):
+            return 0.0
+        return self.prog.flops / self.latency
+
+
+class MeasureRunner:
+    """Measures programs on a simulated device, charging simulated time."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        clock: SimClock | None = None,
+        noise_sigma: float = 0.015,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.device = device
+        self.simulator = GroundTruthSimulator(device)
+        self.clock = clock if clock is not None else SimClock()
+        self.noise_sigma = noise_sigma
+        self.rng = rng if rng is not None else make_rng(0)
+        self.count = 0  # total trials measured
+
+    def measure(self, progs: list[LoweredProgram]) -> list[MeasureResult]:
+        """Measure a batch of programs (one 'round' of trials)."""
+        results: list[MeasureResult] = []
+        charged: list[float] = []
+        for prog in progs:
+            sim = self.simulator.run(prog)
+            if sim.valid:
+                noise = math.exp(self.rng.normal(0.0, self.noise_sigma))
+                latency = sim.latency * noise
+                charged.append(latency)
+            else:
+                latency = math.inf
+            results.append(MeasureResult(prog, latency, sim.valid))
+        # Invalid programs still cost compile overhead (the harness
+        # discovers the failure); valid ones cost run time on top.
+        self.clock.charge_measurement(charged)
+        if len(progs) > len(charged):
+            self.clock.charge(
+                "measurement",
+                (len(progs) - len(charged)) * self.clock.costs.measure_overhead,
+            )
+        self.count += len(progs)
+        return results
+
+    def true_latency(self, prog: LoweredProgram) -> float:
+        """Noise-free ground truth (used by dataset generation / metrics)."""
+        return self.simulator.latency(prog)

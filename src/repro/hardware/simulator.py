@@ -1,0 +1,238 @@
+"""Analytical GPU ground truth — the stand-in for physical hardware.
+
+The paper's premise (Section 4.1) is that tensor-program performance
+*aligns with the accelerator's hierarchical parallel units*: the
+hardware-aware penalties explain most of the latency, and a learned
+cost model captures what remains.  The simulator is built exactly that
+way.  Its latency shares the penalty **skeleton** with the Symbol-based
+Analyzer:
+
+    compute ~ S8 / (T_p * prod(P_c) * extra_c)
+    memory  ~ S5 * bytes / (T_m * prod(P_m) * extra_m)
+
+and then diverges from the draft model through effects the closed-form
+penalties cannot express:
+
+* ``extra_c``: occupancy saturation, instruction-level parallelism from
+  register tiles, unroll quality, register-spill slowdown, TensorCore
+  fragment alignment;
+* ``extra_m``: bandwidth-saturation from occupancy, vector-load bonus;
+* latency composition ``max(c, m) + 0.3 * min(c, m)`` (overlap) rather
+  than the analyzer's plain sum;
+* kernel-launch and splitK reduction overheads;
+* a smooth **device-specific residual**: a small fixed random network
+  (seeded by the device name) over structural features, scaled by
+  ``device.residual_scale``.
+
+The residual is deterministic and *learnable* (a function of the same
+quantities the cost-model features expose) but not expressible by the
+draft model — exactly the relationship between empirical formulas and
+learned cost models that draft-then-verify exploits.  It also differs
+across devices, creating the cross-platform gap MoA addresses.
+
+Measurement noise is *not* applied here (the simulator is the "true"
+device); :mod:`repro.hardware.measure` adds it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.penalty import compute_penalties
+from repro.core.symbols import extract_symbols
+from repro.hardware.device import DeviceSpec
+from repro.rng import rng_for
+from repro.schedule.lower import LoweredProgram
+
+_RESIDUAL_FEATURES = 14
+_RESIDUAL_HIDDEN = 10
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of running one program on the simulated device."""
+
+    latency: float  # seconds (math.inf when invalid)
+    valid: bool
+    compute_time: float = 0.0
+    memory_time: float = 0.0
+    occupancy: float = 0.0
+    reason: str = ""
+
+
+@lru_cache(maxsize=32)
+def _residual_net(device_name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed random 2-layer net defining the device residual."""
+    rng = rng_for("residual-net", device_name)
+    w1 = rng.normal(0.0, 0.9, size=(_RESIDUAL_HIDDEN, _RESIDUAL_FEATURES))
+    b1 = rng.normal(0.0, 0.3, size=_RESIDUAL_HIDDEN)
+    w2 = rng.normal(0.0, 0.9, size=_RESIDUAL_HIDDEN)
+    return w1, b1, w2
+
+
+def residual_features(prog: LoweredProgram) -> np.ndarray:
+    """Structural feature vector feeding the device residual.
+
+    Log-scaled quantities mirroring what the dataflow features expose;
+    learned cost models can therefore *learn* the residual while the
+    closed-form draft model cannot.
+    """
+
+    def lg(x: float) -> float:
+        return math.log2(1.0 + max(0.0, x)) / 16.0
+
+    wl = prog.workload
+    return np.array(
+        [
+            lg(prog.acc_regs),
+            lg(prog.reg_elems),
+            lg(prog.smem_elems),
+            lg(prog.threads_per_block),
+            lg(prog.vthreads),
+            lg(prog.grid),
+            lg(prog.trans_span),
+            lg(prog.thread_compute),
+            lg(prog.traffic_elems / max(1.0, prog.flops) * 1e3),
+            lg(prog.unroll),
+            lg(prog.vector),
+            lg(prog.splitk),
+            lg(wl.arithmetic_intensity()),
+            1.0 if prog.tensorcore else 0.0,
+        ]
+    )
+
+
+class GroundTruthSimulator:
+    """Deterministic latency oracle for one device."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def run(self, prog: LoweredProgram) -> SimulationResult:
+        """Simulate one program; deterministic for a given (device, program)."""
+        invalid = self._check_validity(prog)
+        if invalid:
+            return SimulationResult(math.inf, valid=False, reason=invalid)
+
+        occupancy, blocks_per_sm = self._occupancy(prog)
+        if blocks_per_sm < 1:
+            return SimulationResult(math.inf, valid=False, reason="zero occupancy")
+
+        symbols = extract_symbols(prog)
+        pen = compute_penalties(symbols, self.device, prog.workload.dtype_bytes)
+
+        compute_time = self._compute_time(prog, pen, occupancy)
+        memory_time = self._memory_time(prog, pen, occupancy)
+        core = max(compute_time, memory_time) + 0.3 * min(compute_time, memory_time)
+        core *= self._residual_factor(prog)
+
+        latency = core + self._overheads(prog)
+        return SimulationResult(
+            latency=latency,
+            valid=True,
+            compute_time=compute_time,
+            memory_time=memory_time,
+            occupancy=occupancy,
+        )
+
+    def latency(self, prog: LoweredProgram) -> float:
+        """Shorthand: latency in seconds (inf when invalid)."""
+        return self.run(prog).latency
+
+    # ------------------------------------------------------------------
+    def _check_validity(self, prog: LoweredProgram) -> str:
+        d = self.device
+        if prog.threads_per_block > d.max_threads_per_block:
+            return (
+                f"threads per block {prog.threads_per_block} exceeds "
+                f"{d.max_threads_per_block}"
+            )
+        if prog.smem_bytes > d.smem_per_block:
+            return f"shared memory {prog.smem_bytes}B exceeds {d.smem_per_block}B"
+        if prog.grid < 1 or prog.threads_per_block < 1:
+            return "empty launch configuration"
+        return ""
+
+    def _reg_cap(self, prog: LoweredProgram) -> int:
+        """Registers per thread after the compiler caps usage to launch.
+
+        CUDA compilers spill registers rather than fail when a block
+        would exceed the SM register file; programs above the cap run,
+        slower (see the spill factor in :meth:`_compute_time`).
+        """
+        d = self.device
+        per_thread_budget = d.regs_per_sm // max(1, prog.threads_per_block)
+        return max(1, min(d.max_regs_per_thread, per_thread_budget))
+
+    def _occupancy(self, prog: LoweredProgram) -> tuple[float, int]:
+        d = self.device
+        threads = prog.threads_per_block
+        warps = math.ceil(threads / d.warp_size)
+        regs_per_thread = min(prog.reg_elems, self._reg_cap(prog))
+        limits = [
+            d.max_blocks_per_sm,
+            d.max_threads_per_sm // threads,
+            d.regs_per_sm // max(1, regs_per_thread * threads),
+        ]
+        if prog.smem_bytes > 0:
+            limits.append(d.smem_per_sm // max(1, prog.smem_bytes))
+        blocks_per_sm = max(0, min(limits))
+        active_warps = blocks_per_sm * warps
+        occupancy = min(1.0, active_warps / d.max_warps_per_sm)
+        return occupancy, blocks_per_sm
+
+    def _compute_time(self, prog, pen, occupancy: float) -> float:
+        """Compute term: penalty skeleton x micro-architectural extras."""
+        d = self.device
+        peak = d.peak_for(prog.tensorcore)
+        skeleton = pen.compute_product()  # density * P_l1_c * alpha * P_l2_c * S9
+
+        # Extras the draft model does not know about:
+        occ_factor = occupancy / (occupancy + 0.15) * 1.15  # warp-latency hiding
+        inner_tile = prog.acc_regs / max(1, prog.vthreads)
+        ilp = min(1.0, 0.60 + 0.10 * math.log2(1.0 + min(inner_tile, 128.0)))
+        if prog.unroll >= 64:
+            unroll_bonus = 1.0
+        elif prog.unroll >= 16:
+            unroll_bonus = 0.97
+        else:
+            unroll_bonus = 0.92
+        reg_cap = self._reg_cap(prog)
+        spill = 1.0
+        if prog.reg_elems > reg_cap:
+            spill = (reg_cap / prog.reg_elems) ** 1.5
+
+        extra = occ_factor * ilp * unroll_bonus * spill
+        return prog.flops / (peak * max(skeleton * extra, 1e-6))
+
+    def _memory_time(self, prog, pen, occupancy: float) -> float:
+        """Memory term: penalty skeleton x saturation/vectorization extras."""
+        d = self.device
+        skeleton = pen.memory_product()  # P_l0_m * P_l1_m * P_l2_m
+        saturation = min(1.0, (occupancy + 0.15) / 0.60)
+        vec_bonus = min(1.15, 1.0 + 0.05 * math.log2(max(1, prog.vector)))
+        extra = saturation * vec_bonus
+        return prog.traffic_bytes / (d.peak_bw * max(skeleton * extra, 1e-6))
+
+    def _overheads(self, prog: LoweredProgram) -> float:
+        d = self.device
+        overhead = d.launch_overhead
+        if prog.splitk > 1:
+            # partial-sum reduction kernel: one more launch + traffic
+            reduce_bytes = (
+                prog.workload.output_elems * prog.splitk * prog.workload.dtype_bytes
+            )
+            overhead += d.launch_overhead + reduce_bytes / (d.peak_bw * 0.6)
+        return overhead
+
+    def _residual_factor(self, prog: LoweredProgram) -> float:
+        w1, b1, w2 = _residual_net(self.device.name)
+        phi = residual_features(prog)
+        hidden = np.tanh(w1 @ phi + b1)
+        r = math.tanh(float(w2 @ hidden))
+        return math.exp(self.device.residual_scale * r)

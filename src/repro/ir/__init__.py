@@ -1,0 +1,49 @@
+"""Tensor-expression IR: loop nests, access patterns, operator graphs.
+
+This subpackage is the substrate the paper builds on (TVM's tensor
+expressions + Ansor's compute DAGs), rebuilt in plain Python:
+
+* :mod:`repro.ir.expr` — loop dimensions and linear tensor access
+  patterns (rich enough for conv halos and strided access).
+* :mod:`repro.ir.ops` — the operator zoo (matmul, conv2d, depthwise,
+  transpose conv, pooling, element-wise, attention ops) expressed as
+  :class:`~repro.ir.ops.Workload` loop nests.
+* :mod:`repro.ir.dag` — network-level operator graphs.
+* :mod:`repro.ir.partition` — Ansor-style graph partitioning that fuses
+  element-wise epilogues into anchor operators and yields weighted
+  subgraph tuning tasks.
+"""
+
+from repro.ir.expr import AccessPattern, LoopDim
+from repro.ir.ops import (
+    Workload,
+    batch_matmul,
+    conv2d,
+    conv2d_transpose,
+    dense,
+    depthwise_conv2d,
+    elementwise,
+    matmul,
+    pool2d,
+)
+from repro.ir.dag import Graph, GraphBuilder, OpNode
+from repro.ir.partition import SubgraphTask, partition_graph
+
+__all__ = [
+    "AccessPattern",
+    "LoopDim",
+    "Workload",
+    "matmul",
+    "dense",
+    "batch_matmul",
+    "conv2d",
+    "depthwise_conv2d",
+    "conv2d_transpose",
+    "pool2d",
+    "elementwise",
+    "Graph",
+    "GraphBuilder",
+    "OpNode",
+    "SubgraphTask",
+    "partition_graph",
+]

@@ -1,0 +1,408 @@
+"""Operator definitions (the workload zoo).
+
+A :class:`Workload` is the unit the tuner optimises: one anchor operator
+(matmul / conv / ...) together with any fused element-wise epilogue ops,
+expressed as a loop nest with access patterns.  Constructors at the
+bottom of this module build the operator classes the paper evaluates
+(Tables 3/4 and Figure 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import WorkloadError
+from repro.ir.expr import AccessPattern, LoopDim
+
+_DTYPE_BYTES = {"float32": 4, "float16": 2}
+
+# Anchor tags that get the multi-level tiling sketch.
+TILED_TAGS = frozenset({"matmul", "conv2d", "depthwise", "conv2d_transpose"})
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fused subgraph to be tuned: anchor loop nest + epilogues.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"conv2d_64x56x56_k64r3s3"``.
+    tag:
+        Operator class: ``matmul``, ``conv2d``, ``depthwise``,
+        ``conv2d_transpose``, ``pool``, or ``elementwise``.  Tags in
+        :data:`TILED_TAGS` receive the multi-level tiling template.
+    spatial / reduction:
+        Loop dimensions.  Spatial loops enumerate output elements.
+    reads:
+        Input tensor access patterns.
+    fused_ops:
+        Names of fused element-wise epilogue ops (e.g. bias-add, relu).
+    flops_per_point:
+        Floating-point operations per innermost iteration of the anchor
+        (2 for multiply–accumulate).
+    dtype:
+        ``float32`` or ``float16`` (TensorCore-eligible matmuls).
+    """
+
+    name: str
+    tag: str
+    spatial: tuple[LoopDim, ...]
+    reduction: tuple[LoopDim, ...] = ()
+    reads: tuple[AccessPattern, ...] = ()
+    fused_ops: tuple[str, ...] = ()
+    flops_per_point: float = 2.0
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.spatial:
+            raise WorkloadError(f"workload {self.name!r} needs at least one spatial loop")
+        if self.dtype not in _DTYPE_BYTES:
+            raise WorkloadError(f"unsupported dtype {self.dtype!r}")
+        names = [d.name for d in self.spatial + self.reduction]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate loop names in workload {self.name!r}: {names}")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def dtype_bytes(self) -> int:
+        """Element size of the anchor computation in bytes."""
+        return _DTYPE_BYTES[self.dtype]
+
+    @property
+    def loops(self) -> tuple[LoopDim, ...]:
+        """All loops, spatial first."""
+        return self.spatial + self.reduction
+
+    def loop_extents(self) -> dict[str, int]:
+        """Map of loop name to extent."""
+        return {d.name: d.extent for d in self.loops}
+
+    @property
+    def output_elems(self) -> int:
+        """Number of output elements (product of spatial extents)."""
+        return math.prod(d.extent for d in self.spatial)
+
+    @property
+    def iteration_points(self) -> int:
+        """Total iteration-space size (spatial x reduction)."""
+        return math.prod(d.extent for d in self.loops)
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations including fused epilogues."""
+        anchor = self.flops_per_point * self.iteration_points
+        epilogue = len(self.fused_ops) * self.output_elems
+        return anchor + epilogue
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of distinct input data (lower bound on global traffic)."""
+        full = self.loop_extents()
+        return sum(r.footprint(full) * r.dtype_bytes for r in self.reads)
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes written to the output buffer."""
+        return self.output_elems * self.dtype_bytes
+
+    @property
+    def is_tiled(self) -> bool:
+        """True if this workload receives the multi-level tiling sketch."""
+        return self.tag in TILED_TAGS
+
+    @property
+    def tensorcore_eligible(self) -> bool:
+        """Half-precision matmuls whose matrix dims fit WMMA fragments.
+
+        The two matrix spatial dims and the reduction dim must be
+        multiples of the 16-wide fragment edge; e.g. decode-phase
+        attention (one query row per head) is *not* eligible and falls
+        back to CUDA cores, as in MetaSchedule.
+        """
+        if self.dtype != "float16" or self.tag != "matmul":
+            return False
+        dims = [d.extent for d in self.spatial[-2:]]
+        dims += [d.extent for d in self.reduction[:1]]
+        return all(extent % 16 == 0 for extent in dims)
+
+    @property
+    def key(self) -> str:
+        """Stable identity string (used for hashing / record files)."""
+        dims = ",".join(f"{d.name}={d.extent}" for d in self.loops)
+        return f"{self.tag}|{dims}|{self.dtype}|fused={len(self.fused_ops)}"
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of compulsory traffic (roofline x-coordinate)."""
+        bytes_moved = self.input_bytes + self.output_bytes
+        return self.flops / max(1, bytes_moved)
+
+    def with_fused(self, *ops: str) -> "Workload":
+        """Return a copy with additional fused element-wise epilogues."""
+        return replace(self, fused_ops=self.fused_ops + tuple(ops))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def matmul(
+    m: int,
+    n: int,
+    k: int,
+    batch: int = 1,
+    dtype: str = "float32",
+    name: str | None = None,
+) -> Workload:
+    """(Batched) matrix multiply ``C[b, i, j] += A[b, i, k] * B[b, k, j]``."""
+    if min(m, n, k, batch) < 1:
+        raise WorkloadError("matmul dims must be positive")
+    bytes_ = _DTYPE_BYTES[dtype]
+    spatial: list[LoopDim] = []
+    a_index: list = []
+    b_index: list = []
+    if batch > 1:
+        spatial.append(LoopDim("b", batch))
+        a_index.append((("b", 1),))
+        b_index.append((("b", 1),))
+    spatial += [LoopDim("i", m), LoopDim("j", n)]
+    a_index += [(("i", 1),), (("k", 1),)]
+    b_index += [(("k", 1),), (("j", 1),)]
+    return Workload(
+        name=name or f"matmul_b{batch}_m{m}_n{n}_k{k}_{dtype}",
+        tag="matmul",
+        spatial=tuple(spatial),
+        reduction=(LoopDim("k", k),),
+        reads=(
+            AccessPattern("A", tuple(a_index), bytes_),
+            AccessPattern("B", tuple(b_index), bytes_),
+        ),
+        dtype=dtype,
+    )
+
+
+def batch_matmul(batch: int, m: int, n: int, k: int, dtype: str = "float32") -> Workload:
+    """Batched matmul (attention scores / context ops)."""
+    return matmul(m, n, k, batch=batch, dtype=dtype)
+
+
+def dense(m: int, n: int, k: int, dtype: str = "float32") -> Workload:
+    """Fully-connected layer as a matmul (weights are ``B[k, j]``)."""
+    return matmul(m, n, k, dtype=dtype)
+
+
+def conv2d(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    dtype: str = "float32",
+    name: str | None = None,
+) -> Workload:
+    """2-D convolution, NCHW layout, 'same'-style padded output extents.
+
+    Output spatial size is ``ceil(h / stride)``.  Loops: spatial
+    ``(n, ko, p, q)``; reduction ``(ci, r, s)``.
+    """
+    if min(batch, in_channels, height, width, out_channels, kernel, stride) < 1:
+        raise WorkloadError("conv2d dims must be positive")
+    out_h = max(1, (height + stride - 1) // stride)
+    out_w = max(1, (width + stride - 1) // stride)
+    bytes_ = _DTYPE_BYTES[dtype]
+    reads = (
+        AccessPattern(
+            "I",
+            (
+                (("n", 1),),
+                (("ci", 1),),
+                (("p", stride), ("r", 1)),
+                (("q", stride), ("s", 1)),
+            ),
+            bytes_,
+        ),
+        AccessPattern(
+            "W",
+            ((("ko", 1),), (("ci", 1),), (("r", 1),), (("s", 1),)),
+            bytes_,
+        ),
+    )
+    return Workload(
+        name=name
+        or f"conv2d_n{batch}_c{in_channels}_hw{height}_k{out_channels}r{kernel}s{stride}",
+        tag="conv2d",
+        spatial=(
+            LoopDim("n", batch),
+            LoopDim("ko", out_channels),
+            LoopDim("p", out_h),
+            LoopDim("q", out_w),
+        ),
+        reduction=(
+            LoopDim("ci", in_channels),
+            LoopDim("r", kernel),
+            LoopDim("s", kernel),
+        ),
+        reads=reads,
+        dtype=dtype,
+    )
+
+
+def depthwise_conv2d(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int = 1,
+    dtype: str = "float32",
+) -> Workload:
+    """Depthwise 2-D convolution (one filter per channel)."""
+    out_h = max(1, (height + stride - 1) // stride)
+    out_w = max(1, (width + stride - 1) // stride)
+    bytes_ = _DTYPE_BYTES[dtype]
+    reads = (
+        AccessPattern(
+            "I",
+            (
+                (("n", 1),),
+                (("c", 1),),
+                (("p", stride), ("r", 1)),
+                (("q", stride), ("s", 1)),
+            ),
+            bytes_,
+        ),
+        AccessPattern("W", ((("c", 1),), (("r", 1),), (("s", 1),)), bytes_),
+    )
+    return Workload(
+        name=f"dwconv_n{batch}_c{channels}_hw{height}_r{kernel}s{stride}",
+        tag="depthwise",
+        spatial=(
+            LoopDim("n", batch),
+            LoopDim("c", channels),
+            LoopDim("p", out_h),
+            LoopDim("q", out_w),
+        ),
+        reduction=(LoopDim("r", kernel), LoopDim("s", kernel)),
+        reads=reads,
+        dtype=dtype,
+    )
+
+
+def conv2d_transpose(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int = 2,
+    dtype: str = "float32",
+) -> Workload:
+    """Transposed convolution (DCGAN generator); output upsampled by stride."""
+    out_h = height * stride
+    out_w = width * stride
+    bytes_ = _DTYPE_BYTES[dtype]
+    # Modelled as a conv over the upsampled output grid: each output
+    # point reduces over (ci, r, s) with fractional input reuse.
+    reads = (
+        AccessPattern(
+            "I",
+            ((("n", 1),), (("ci", 1),), (("p", 1), ("r", 1)), (("q", 1), ("s", 1))),
+            bytes_,
+        ),
+        AccessPattern(
+            "W",
+            ((("ci", 1),), (("ko", 1),), (("r", 1),), (("s", 1),)),
+            bytes_,
+        ),
+    )
+    return Workload(
+        name=f"convT_n{batch}_c{in_channels}_hw{height}_k{out_channels}r{kernel}s{stride}",
+        tag="conv2d_transpose",
+        spatial=(
+            LoopDim("n", batch),
+            LoopDim("ko", out_channels),
+            LoopDim("p", out_h),
+            LoopDim("q", out_w),
+        ),
+        reduction=(
+            LoopDim("ci", in_channels),
+            LoopDim("r", max(1, kernel // stride)),
+            LoopDim("s", max(1, kernel // stride)),
+        ),
+        reads=reads,
+        dtype=dtype,
+    )
+
+
+def pool2d(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int,
+    dtype: str = "float32",
+) -> Workload:
+    """Max/avg pooling: reduction over a small window, memory bound."""
+    out_h = max(1, (height + stride - 1) // stride)
+    out_w = max(1, (width + stride - 1) // stride)
+    bytes_ = _DTYPE_BYTES[dtype]
+    reads = (
+        AccessPattern(
+            "I",
+            (
+                (("n", 1),),
+                (("c", 1),),
+                (("p", stride), ("r", 1)),
+                (("q", stride), ("s", 1)),
+            ),
+            bytes_,
+        ),
+    )
+    return Workload(
+        name=f"pool_n{batch}_c{channels}_hw{height}_r{kernel}s{stride}",
+        tag="pool",
+        spatial=(
+            LoopDim("n", batch),
+            LoopDim("c", channels),
+            LoopDim("p", out_h),
+            LoopDim("q", out_w),
+        ),
+        reduction=(LoopDim("r", kernel), LoopDim("s", kernel)),
+        reads=reads,
+        flops_per_point=1.0,
+        dtype=dtype,
+    )
+
+
+def elementwise(
+    shape: tuple[int, ...],
+    n_inputs: int = 1,
+    op: str = "relu",
+    dtype: str = "float32",
+) -> Workload:
+    """Pure element-wise op over an N-D tensor (memory bound, no tiling)."""
+    if not shape or min(shape) < 1:
+        raise WorkloadError("elementwise shape must be non-empty and positive")
+    bytes_ = _DTYPE_BYTES[dtype]
+    dims = tuple(LoopDim(f"e{i}", extent) for i, extent in enumerate(shape))
+    reads = tuple(
+        AccessPattern(f"X{t}", tuple(((d.name, 1),) for d in dims), bytes_)
+        for t in range(n_inputs)
+    )
+    return Workload(
+        name=f"{op}_{'x'.join(map(str, shape))}",
+        tag="elementwise",
+        spatial=dims,
+        reads=reads,
+        flops_per_point=1.0,
+        dtype=dtype,
+    )

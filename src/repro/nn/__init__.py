@@ -1,0 +1,36 @@
+"""Minimal numpy neural-network substrate (autograd, layers, optim, losses).
+
+The paper's cost models (TenSetMLP, TLP's transformer, PaCM's
+pattern-aware transformer) are small networks; this package provides a
+reverse-mode autograd over numpy arrays plus the layers they need:
+linear, layer-norm, multi-head self-attention, Adam, and the
+LambdaRank ranking loss the paper trains PaCM with (Section 4.2).
+"""
+
+from repro.nn.autograd import Tensor, concatenate, no_grad
+from repro.nn.layers import (
+    Linear,
+    LayerNorm,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sequential,
+)
+from repro.nn.optim import Adam
+from repro.nn.losses import lambdarank_loss, mse_loss, pairwise_rank_accuracy
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "no_grad",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "LayerNorm",
+    "MultiHeadSelfAttention",
+    "Adam",
+    "mse_loss",
+    "lambdarank_loss",
+    "pairwise_rank_accuracy",
+]

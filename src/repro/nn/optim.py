@@ -1,0 +1,65 @@
+"""Optimizers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Adam:
+    """Adam with decoupled weight decay and global-norm gradient clipping."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 3e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        grad_clip: float = 0.0,
+    ):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def _clip(self) -> None:
+        if self.grad_clip <= 0:
+            return
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        norm = total**0.5
+        if norm > self.grad_clip:
+            scale = self.grad_clip / (norm + 1e-12)
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def step(self) -> None:
+        """Apply one update to all parameters with gradients."""
+        self._clip()
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                p.data *= 1.0 - self.lr * self.weight_decay
+            self._m[i] = b1 * self._m[i] + (1 - b1) * g
+            self._v[i] = b2 * self._v[i] + (1 - b2) * g * g
+            m_hat = self._m[i] / (1 - b1**self._t)
+            v_hat = self._v[i] / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,39 @@
+"""Schedule substrate: search space, sampling, mutation, lowering.
+
+Implements the Ansor-style GPU schedule template the paper builds on
+(Figure 3): each spatial loop is split five ways
+``[block, thread, vthread, inner0, inner1]`` (the paper's I0..I4), each
+reduction loop three ways ``[k0, k1, k2]``, with shared-memory caching
+of inputs and unroll / vectorize annotations.  A TensorCore variant
+constrains thread tiles to WMMA 16x16x16 fragments.
+
+* :mod:`repro.schedule.space`  — :class:`ScheduleSpace` (the paper's θx)
+  and :class:`ScheduleConfig` (one point of the space).
+* :mod:`repro.schedule.sketch` — sketch-generation rules: workload ->
+  space.
+* :mod:`repro.schedule.sampler` — random initial schedules.
+* :mod:`repro.schedule.mutate` — GA mutation / crossover operators.
+* :mod:`repro.schedule.lower`  — lowering to :class:`LoweredProgram`
+  (tile structure + dataflow blocks used by symbols, features and the
+  device simulator).
+"""
+
+from repro.schedule.space import ScheduleConfig, ScheduleSpace, count_factorizations
+from repro.schedule.sketch import generate_sketch
+from repro.schedule.sampler import random_config, sample_factorization
+from repro.schedule.mutate import crossover, mutate
+from repro.schedule.lower import DataflowBlock, LoweredProgram, lower
+
+__all__ = [
+    "ScheduleConfig",
+    "ScheduleSpace",
+    "count_factorizations",
+    "generate_sketch",
+    "random_config",
+    "sample_factorization",
+    "mutate",
+    "crossover",
+    "lower",
+    "LoweredProgram",
+    "DataflowBlock",
+]

@@ -1,0 +1,109 @@
+"""GA operators over schedules: mutation and crossover.
+
+These are the ``SchMutation`` operators of the paper's Algorithm 2:
+tiling-factor transformations of for-loops, plus annotation flips.  The
+same operators serve both Ansor's evolutionary search and Pruner's LSE
+(which differs only in the fitness function guiding selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.sampler import sample_axis
+from repro.schedule.space import ScheduleConfig, ScheduleSpace
+
+
+def _swap_two_factors(
+    rng: np.random.Generator, factors: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Swap two positions of a factor tuple (preserves the product)."""
+    if len(factors) < 2:
+        return factors
+    i, j = rng.choice(len(factors), size=2, replace=False)
+    out = list(factors)
+    out[i], out[j] = out[j], out[i]
+    return tuple(out)
+
+
+def _move_factor(
+    rng: np.random.Generator, factors: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Move a prime factor from one position to another (product-preserving)."""
+    donors = [i for i, f in enumerate(factors) if f > 1]
+    if not donors:
+        return factors
+    i = int(rng.choice(donors))
+    j = int(rng.choice([p for p in range(len(factors)) if p != i]))
+    f = factors[i]
+    # smallest prime factor of f
+    p = 2
+    while f % p != 0:
+        p += 1
+    out = list(factors)
+    out[i] //= p
+    out[j] *= p
+    return tuple(out)
+
+
+def mutate(
+    config: ScheduleConfig, space: ScheduleSpace, rng: np.random.Generator
+) -> ScheduleConfig:
+    """Return a mutated copy of ``config`` that is still inside ``space``.
+
+    Mutation kinds (chosen at random):
+
+    * resample one axis factorization from scratch,
+    * swap two factors within an axis,
+    * move a prime factor between tile levels of an axis,
+    * flip the unroll / vectorize / splitK annotation.
+    """
+    kind = rng.random()
+    splits = space.splits
+    if kind < 0.45:  # resample one axis
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(s.axis, sample_axis(rng, space, s))
+    elif kind < 0.65:  # swap factors
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(s.axis, _swap_two_factors(rng, config.factors(s.axis)))
+    elif kind < 0.85:  # move a prime between levels
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(s.axis, _move_factor(rng, config.factors(s.axis)))
+    else:  # annotation flip
+        choice = rng.random()
+        if choice < 0.5:
+            mutated = config.with_annotations(unroll=int(rng.choice(space.unroll_options)))
+        elif choice < 0.8:
+            mutated = config.with_annotations(vector=int(rng.choice(space.vector_options)))
+        else:
+            mutated = config.with_annotations(splitk=int(rng.choice(space.splitk_options)))
+    try:
+        space.validate(mutated)
+    except Exception:
+        # TensorCore swaps/moves can break the fragment constraint;
+        # fall back to a fresh resample of that axis.
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(s.axis, sample_axis(rng, space, s))
+        space.validate(mutated)
+    return mutated
+
+
+def crossover(
+    a: ScheduleConfig,
+    b: ScheduleConfig,
+    space: ScheduleSpace,
+    rng: np.random.Generator,
+) -> ScheduleConfig:
+    """Uniform crossover: each axis / annotation inherited from either parent."""
+    tile_map = {}
+    for s in space.splits:
+        parent = a if rng.random() < 0.5 else b
+        tile_map[s.axis] = parent.factors(s.axis)
+    child = ScheduleConfig.from_map(
+        tile_map,
+        unroll=(a if rng.random() < 0.5 else b).unroll,
+        vector=(a if rng.random() < 0.5 else b).vector,
+        splitk=(a if rng.random() < 0.5 else b).splitk,
+    )
+    space.validate(child)
+    return child

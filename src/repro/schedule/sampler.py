@@ -1,0 +1,87 @@
+"""Random schedule sampling (initial populations, RandomInitSch).
+
+Sampling picks, independently per axis, a uniformly random chain of
+divisors — the same scheme Ansor uses to seed its evolutionary search.
+TensorCore spaces are sampled on the quotient space ``extent / 16`` and
+the WMMA edge is re-attached to the innermost factor, so every sample
+satisfies the fragment constraint by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.space import WMMA, WMMA_LANE, AxisSplit, ScheduleConfig, ScheduleSpace, divisors
+
+
+def sample_factorization(
+    rng: np.random.Generator, extent: int, parts: int
+) -> tuple[int, ...]:
+    """Sample an ordered factorization of ``extent`` into ``parts`` factors."""
+    factors = []
+    remaining = extent
+    for _ in range(parts - 1):
+        d = int(rng.choice(divisors(remaining)))
+        factors.append(d)
+        remaining //= d
+    factors.append(remaining)
+    return tuple(factors)
+
+
+def _sample_tensorcore_spatial(
+    rng: np.random.Generator, split: AxisSplit
+) -> tuple[int, ...]:
+    """Spatial matrix dim: per-lane tile must be a fragment-share multiple."""
+    base = sample_factorization(rng, split.extent // WMMA_LANE, split.parts)
+    f = list(base)
+    f[-1] *= WMMA_LANE  # attach the per-lane fragment share innermost
+    return tuple(f)
+
+
+def _sample_tensorcore_reduction(
+    rng: np.random.Generator, split: AxisSplit
+) -> tuple[int, ...]:
+    """Reduction dim: chunk (k1*k2) must be a WMMA multiple."""
+    base = sample_factorization(rng, split.extent // WMMA, split.parts)
+    f = list(base)
+    f[-1] *= WMMA
+    return tuple(f)
+
+
+def sample_axis(
+    rng: np.random.Generator, space: ScheduleSpace, split: AxisSplit
+) -> tuple[int, ...]:
+    """Sample factors for one axis, honouring TensorCore constraints."""
+    if space.tensorcore:
+        matrix_axes = {s.axis for s in space.spatial_splits[-2:]}
+        if split.axis in matrix_axes:
+            return _sample_tensorcore_spatial(rng, split)
+        if space.reduction_splits and split.axis == space.reduction_splits[0].axis:
+            return _sample_tensorcore_reduction(rng, split)
+    return sample_factorization(rng, split.extent, split.parts)
+
+
+def random_config(space: ScheduleSpace, rng: np.random.Generator) -> ScheduleConfig:
+    """Sample one uniformly random schedule configuration from ``space``."""
+    tile_map = {s.axis: sample_axis(rng, space, s) for s in space.splits}
+    config = ScheduleConfig.from_map(
+        tile_map,
+        unroll=int(rng.choice(space.unroll_options)),
+        vector=int(rng.choice(space.vector_options)),
+        splitk=int(rng.choice(space.splitk_options)),
+    )
+    space.validate(config)
+    return config
+
+
+def random_population(
+    space: ScheduleSpace, rng: np.random.Generator, size: int
+) -> list[ScheduleConfig]:
+    """Sample ``size`` schedules, deduplicated (may return fewer for tiny spaces)."""
+    seen: dict[str, ScheduleConfig] = {}
+    attempts = 0
+    while len(seen) < size and attempts < size * 10:
+        cfg = random_config(space, rng)
+        seen.setdefault(cfg.key, cfg)
+        attempts += 1
+    return list(seen.values())

@@ -1,0 +1,120 @@
+"""Sketch generation rules: workload -> schedule space.
+
+Mirrors Ansor's rule-based template generation (paper Figure 3, applied
+to DAG stages in reverse topological order):
+
+* **multi-level tiling** for reducible anchors (matmul / conv /
+  depthwise / transpose-conv): 5-way spatial and 3-way reduction
+  splits, shared-memory caching of inputs, unroll and vectorize menus;
+* **TensorCore tiling** for half-precision matmuls: same structure with
+  WMMA 16x16x16 fragment constraints and a splitK menu (the paper adds
+  a TensorCore symbol to LSE and a shared->fragment dataflow to PaCM);
+* **flat parallelization** for element-wise / pooling workloads (no
+  tiling; the paper zero-pads their dataflow features).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.ir.ops import Workload
+from repro.schedule.space import (
+    REDUCTION_PARTS,
+    SPATIAL_PARTS,
+    SPLITK_OPTIONS,
+    WMMA,
+    AxisSplit,
+    ScheduleSpace,
+)
+
+
+def generate_sketch(
+    workload: Workload,
+    tensorcore: bool = False,
+    allow_splitk: bool = False,
+) -> ScheduleSpace:
+    """Generate the schedule space for a workload.
+
+    Parameters
+    ----------
+    workload:
+        The fused subgraph to be tuned.
+    tensorcore:
+        Request the TensorCore (WMMA) template; requires a
+        half-precision matmul whose matrix dims are multiples of 16.
+    allow_splitk:
+        Expose splitK factors in the space (used by the MetaSchedule /
+        library-surrogate templates).
+    """
+    if tensorcore:
+        if not workload.tensorcore_eligible:
+            raise ScheduleError(
+                f"workload {workload.name!r} is not TensorCore eligible "
+                f"(need float16 matmul)"
+            )
+        return _tensorcore_sketch(workload, allow_splitk)
+    if workload.is_tiled:
+        return _tiled_sketch(workload, allow_splitk)
+    return _flat_sketch(workload)
+
+
+def _tiled_sketch(workload: Workload, allow_splitk: bool) -> ScheduleSpace:
+    spatial = tuple(
+        AxisSplit(d.name, d.extent, SPATIAL_PARTS) for d in workload.spatial
+    )
+    reduction = tuple(
+        AxisSplit(d.name, d.extent, REDUCTION_PARTS) for d in workload.reduction
+    )
+    return ScheduleSpace(
+        workload=workload,
+        spatial_splits=spatial,
+        reduction_splits=reduction,
+        splitk_options=SPLITK_OPTIONS if allow_splitk else (1,),
+        use_shared=True,
+    )
+
+
+def _tensorcore_sketch(workload: Workload, allow_splitk: bool) -> ScheduleSpace:
+    # The two matrix dims must be divisible by the WMMA edge; the batch
+    # dim (if any) is tiled freely.
+    matrix_dims = workload.spatial[-2:]
+    for d in matrix_dims:
+        if d.extent % WMMA != 0:
+            raise ScheduleError(
+                f"tensorcore sketch: dim {d.name!r} extent {d.extent} "
+                f"is not a multiple of {WMMA}"
+            )
+    k = workload.reduction[0]
+    if k.extent % WMMA != 0:
+        raise ScheduleError(
+            f"tensorcore sketch: reduction extent {k.extent} is not a "
+            f"multiple of {WMMA}"
+        )
+    spatial = tuple(
+        AxisSplit(d.name, d.extent, SPATIAL_PARTS) for d in workload.spatial
+    )
+    reduction = tuple(
+        AxisSplit(d.name, d.extent, REDUCTION_PARTS) for d in workload.reduction
+    )
+    return ScheduleSpace(
+        workload=workload,
+        spatial_splits=spatial,
+        reduction_splits=reduction,
+        splitk_options=SPLITK_OPTIONS if allow_splitk else (1,),
+        use_shared=True,
+        tensorcore=True,
+    )
+
+
+def _flat_sketch(workload: Workload) -> ScheduleSpace:
+    # Element-wise / pooling: flatten output space and split it
+    # [grid, block] with a vectorization menu; reductions (pool windows)
+    # stay serial.
+    spatial = tuple(AxisSplit(d.name, d.extent, 2) for d in workload.spatial)
+    reduction = tuple(AxisSplit(d.name, d.extent, 1) for d in workload.reduction)
+    return ScheduleSpace(
+        workload=workload,
+        spatial_splits=spatial,
+        reduction_splits=reduction,
+        unroll_options=(0, 16),
+        use_shared=False,
+    )

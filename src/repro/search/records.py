@@ -1,0 +1,119 @@
+"""Tuning records: everything measured so far, plus tuning curves."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.schedule.lower import LoweredProgram
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One measured trial."""
+
+    task_key: str
+    prog: LoweredProgram
+    latency: float  # seconds; inf for invalid programs
+    sim_time: float  # simulated wall clock at measurement
+    round_index: int
+
+
+class RecordLog:
+    """Append-only store of measured trials (the R_tune of Algorithm 1)."""
+
+    def __init__(self) -> None:
+        self._records: list[TuningRecord] = []
+        self._best: dict[str, TuningRecord] = {}
+        self._measured_keys: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, record: TuningRecord) -> None:
+        """Record one trial and update per-task bests."""
+        self._records.append(record)
+        self._measured_keys.setdefault(record.task_key, set()).add(
+            record.prog.config.key
+        )
+        best = self._best.get(record.task_key)
+        if math.isfinite(record.latency) and (
+            best is None or record.latency < best.latency
+        ):
+            self._best[record.task_key] = record
+
+    def extend(self, records: list[TuningRecord]) -> None:
+        for r in records:
+            self.add(r)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[TuningRecord]:
+        return list(self._records)
+
+    def best(self, task_key: str) -> TuningRecord | None:
+        """Best measured trial of a task (None before any valid trial)."""
+        return self._best.get(task_key)
+
+    def best_latency(self, task_key: str) -> float:
+        best = self._best.get(task_key)
+        return best.latency if best else math.inf
+
+    def best_configs(self, task_key: str, k: int = 5) -> list[LoweredProgram]:
+        """Top-k measured programs of a task (for GA seeding)."""
+        task_records = [
+            r
+            for r in self._records
+            if r.task_key == task_key and math.isfinite(r.latency)
+        ]
+        task_records.sort(key=lambda r: r.latency)
+        seen: set[str] = set()
+        out = []
+        for r in task_records:
+            if r.prog.config.key not in seen:
+                seen.add(r.prog.config.key)
+                out.append(r.prog)
+            if len(out) == k:
+                break
+        return out
+
+    def already_measured(self, task_key: str, config_key: str) -> bool:
+        return config_key in self._measured_keys.get(task_key, set())
+
+    def trials(self, task_key: str) -> int:
+        """Number of trials spent on a task."""
+        return len(self._measured_keys.get(task_key, set()))
+
+    # ------------------------------------------------------------------
+    def training_data(
+        self,
+    ) -> tuple[list[LoweredProgram], np.ndarray, list[str]]:
+        """(programs, latencies, task keys) for cost-model training."""
+        progs = [r.prog for r in self._records]
+        lats = np.array([r.latency for r in self._records])
+        keys = [r.task_key for r in self._records]
+        return progs, lats, keys
+
+
+@dataclass
+class CurvePoint:
+    """One point of a tuning curve."""
+
+    sim_time: float
+    trials: int
+    latency: float  # end-to-end weighted latency estimate (seconds)
+
+
+def time_to_reach(curve: list[CurvePoint], target_latency: float) -> float:
+    """First simulated time at which the curve reaches ``target_latency``.
+
+    Returns inf if never reached — the measurement behind the paper's
+    search-time speedup numbers (Figure 7, Tables 5/9).
+    """
+    for point in curve:
+        if point.latency <= target_latency:
+            return point.sim_time
+    return math.inf

@@ -1,0 +1,83 @@
+"""Tuning tasks: a workload bound to a device and schedule space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.hardware.device import DeviceSpec
+from repro.ir.ops import Workload
+from repro.ir.partition import SubgraphTask
+from repro.schedule.sketch import generate_sketch
+from repro.schedule.space import ScheduleSpace
+
+
+@dataclass(frozen=True)
+class TuningTask:
+    """One subgraph to be tuned on one device.
+
+    ``weight`` is the subgraph's occurrence count in the network (w_i);
+    end-to-end latency estimates and the task scheduler both use it.
+    """
+
+    workload: Workload
+    device: DeviceSpec
+    space: ScheduleSpace
+    weight: int = 1
+
+    @property
+    def key(self) -> str:
+        """Stable task identity (workload + device)."""
+        return f"{self.workload.key}@{self.device.name}"
+
+    @staticmethod
+    def create(
+        workload: Workload,
+        device: DeviceSpec,
+        weight: int = 1,
+        tensorcore: bool = False,
+        allow_splitk: bool = False,
+    ) -> "TuningTask":
+        """Build a task, generating its sketch for the requested backend."""
+        space = generate_sketch(
+            workload, tensorcore=tensorcore, allow_splitk=allow_splitk
+        )
+        return TuningTask(workload=workload, device=device, space=space, weight=weight)
+
+    def __str__(self) -> str:
+        return f"{self.workload.name}@{self.device.name} (x{self.weight})"
+
+
+def make_tasks(
+    subgraphs: list[SubgraphTask],
+    device: DeviceSpec,
+    tensorcore: bool = False,
+    allow_splitk: bool = False,
+) -> list[TuningTask]:
+    """Create tuning tasks for the tiled subgraphs of a network.
+
+    Element-wise / pooling subgraphs are skipped (they take default
+    schedules; see ``repro.experiments.common.network_latency``).  With
+    ``tensorcore=True``, ineligible workloads silently fall back to the
+    CUDA-core sketch — mirroring MetaSchedule's behaviour.
+    """
+    tasks: list[TuningTask] = []
+    for sub in subgraphs:
+        if not sub.workload.is_tiled:
+            continue
+        use_tc = tensorcore and sub.workload.tensorcore_eligible
+        try:
+            task = TuningTask.create(
+                sub.workload,
+                device,
+                weight=sub.weight,
+                tensorcore=use_tc,
+                allow_splitk=allow_splitk,
+            )
+        except ScheduleError:
+            # e.g. fp16 matmul whose dims are not WMMA multiples
+            task = TuningTask.create(
+                sub.workload, device, weight=sub.weight, tensorcore=False
+            )
+        tasks.append(task)
+    return tasks

@@ -1,0 +1,169 @@
+"""The full-graph tuner (paper Algorithm 1).
+
+Coordinates the task scheduler, a search policy per task, the
+measurement runner, and the online cost-model update.  Three cost-model
+modes, matching the paper's experimental settings (Section 5):
+
+* ``online``  — the model trains from scratch on data collected during
+  this run (Ansor's setting; "w/o MoA" for Pruner);
+* ``offline`` — the model was pre-trained (TenSet + target platform
+  dataset) and is frozen during search;
+* ``moa``     — MoA-Pruner: a cross-platform pre-trained siamese model
+  initialises the target model every update, which fine-tunes on the
+  online data and momentum-updates the siamese (Section 4.3);
+* ``finetune`` — plain online fine-tuning of a pre-trained model (the
+  "w/ O-F" ablation of Table 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ONLINE_TRAIN, TrainConfig
+from repro.core.moa import MomentumAdapter
+from repro.costmodel.base import CostModel
+from repro.hardware.measure import MeasureRunner
+from repro.rng import make_rng
+from repro.search.policy import SearchPolicy
+from repro.search.records import CurvePoint, RecordLog, TuningRecord, time_to_reach
+from repro.search.task import TuningTask
+from repro.search.task_scheduler import GradientTaskScheduler
+from repro.timemodel import SimClock
+
+_MODES = ("online", "offline", "moa", "finetune")
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one tuning run."""
+
+    curve: list[CurvePoint]
+    records: RecordLog
+    clock: SimClock
+    best: dict[str, float]  # task key -> best latency (seconds)
+    weights: dict[str, int]
+    fixed_latency: float = 0.0  # untuned (element-wise) network part
+
+    @property
+    def final_latency(self) -> float:
+        """End-to-end weighted latency estimate after tuning (seconds)."""
+        if not self.curve:
+            return math.inf
+        return self.curve[-1].latency
+
+    @property
+    def total_trials(self) -> int:
+        return len(self.records)
+
+    def time_to(self, target_latency: float) -> float:
+        """Simulated seconds until the curve first reaches the target."""
+        return time_to_reach(self.curve, target_latency)
+
+
+class Tuner:
+    """Runs the multi-round tuning loop of Algorithm 1."""
+
+    def __init__(
+        self,
+        tasks: list[TuningTask],
+        policies: dict[str, SearchPolicy],
+        model: CostModel,
+        runner: MeasureRunner,
+        clock: SimClock,
+        mode: str = "online",
+        adapter: MomentumAdapter | None = None,
+        train: TrainConfig | None = None,
+        train_every: int = 1,
+        fixed_latency: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if mode == "moa" and adapter is None:
+            raise ValueError("moa mode requires a MomentumAdapter")
+        self.tasks = tasks
+        self.policies = policies
+        self.model = model
+        self.runner = runner
+        self.clock = clock
+        self.mode = mode
+        self.adapter = adapter
+        self.train = train or ONLINE_TRAIN
+        # MoA's stable initialisation permits sparser updates (the paper
+        # notes MoA "lowers the training frequency", Section 6.3).
+        self.train_every = 2 if (mode == "moa" and train_every == 1) else train_every
+        self.fixed_latency = fixed_latency
+        self.rng = rng if rng is not None else make_rng(0)
+        self.records = RecordLog()
+        self.scheduler = GradientTaskScheduler(tasks)
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    def tune(self, rounds: int) -> TuneResult:
+        """Run ``rounds`` tuning rounds and return the result."""
+        curve: list[CurvePoint] = []
+        for _ in range(rounds):
+            self.step()
+            curve.append(self._curve_point())
+        return TuneResult(
+            curve=curve,
+            records=self.records,
+            clock=self.clock,
+            best={t.key: self.records.best_latency(t.key) for t in self.tasks},
+            weights={t.key: t.weight for t in self.tasks},
+            fixed_latency=self.fixed_latency,
+        )
+
+    def step(self) -> None:
+        """One tuning round: select task, propose, measure, update model."""
+        task = self.scheduler.select(self.records)
+        policy = self.policies[task.key]
+        progs = policy.propose(self.records, self.rng)
+        if progs:
+            results = self.runner.measure(progs)
+            for res in results:
+                self.records.add(
+                    TuningRecord(
+                        task_key=task.key,
+                        prog=res.prog,
+                        latency=res.latency,
+                        sim_time=self.clock.total,
+                        round_index=self._round,
+                    )
+                )
+        self.scheduler.notify(task, self.records)
+        self._round += 1
+        if self.mode != "offline" and self._round % self.train_every == 0:
+            self._update_model()
+
+    # ------------------------------------------------------------------
+    def _update_model(self) -> None:
+        progs, lats, keys = self.records.training_data()
+        if len(progs) < 4:
+            return
+        if self.mode == "moa":
+            assert self.adapter is not None
+            self.adapter.load_into(self.model)  # 1. Load Param
+            self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
+            self.adapter.update_from(self.model)  # 3. Momentum update
+        else:  # online / finetune: keep training the live model
+            self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
+        self.clock.charge_training(self.model.kind, len(progs), self.train.epochs)
+
+    def _curve_point(self) -> CurvePoint:
+        latency = self.fixed_latency
+        for task in self.tasks:
+            best = self.records.best_latency(task.key)
+            latency += task.weight * (best if math.isfinite(best) else 0.0)
+        # Tasks not yet measured contribute nothing; curves start after
+        # the warm-up pass, matching how Ansor reports tuning curves.
+        any_unmeasured = any(
+            not math.isfinite(self.records.best_latency(t.key)) for t in self.tasks
+        )
+        value = math.inf if any_unmeasured else latency
+        return CurvePoint(
+            sim_time=self.clock.total, trials=len(self.records), latency=value
+        )

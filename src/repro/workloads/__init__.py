@@ -1,0 +1,22 @@
+"""Network zoo: the paper's evaluated DNN workloads as operator graphs.
+
+Covers Table 3 (CNNs + vision transformers) and Table 4 (language
+models), plus BERT-Large (Table 6) and ResNet3D-18 (the TenSet test
+set).  Every network builds a :class:`~repro.ir.dag.Graph` which the
+partitioner cuts into weighted fused subgraph tuning tasks.
+"""
+
+from repro.workloads.registry import (
+    build_network,
+    list_networks,
+    network_tasks,
+)
+from repro.workloads.networks import llama_decode_tasks, single_op_suite
+
+__all__ = [
+    "build_network",
+    "list_networks",
+    "network_tasks",
+    "llama_decode_tasks",
+    "single_op_suite",
+]

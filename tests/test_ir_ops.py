@@ -1,0 +1,109 @@
+"""Tests for operator constructors (repro.ir.ops)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir import ops
+
+
+class TestMatmul:
+    def test_basic_shape(self):
+        wl = ops.matmul(128, 64, 32)
+        assert wl.output_elems == 128 * 64
+        assert wl.iteration_points == 128 * 64 * 32
+        assert wl.flops == 2 * 128 * 64 * 32
+
+    def test_batched_adds_batch_loop(self):
+        wl = ops.matmul(16, 16, 16, batch=4)
+        assert {d.name for d in wl.spatial} == {"b", "i", "j"}
+        assert wl.output_elems == 4 * 16 * 16
+
+    def test_input_bytes(self):
+        wl = ops.matmul(128, 64, 32)
+        assert wl.input_bytes == (128 * 32 + 32 * 64) * 4
+
+    def test_fp16_tensorcore_eligible(self):
+        wl = ops.matmul(128, 128, 128, dtype="float16")
+        assert wl.tensorcore_eligible
+        assert wl.dtype_bytes == 2
+
+    def test_fp32_not_tensorcore_eligible(self):
+        assert not ops.matmul(128, 128, 128).tensorcore_eligible
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(WorkloadError):
+            ops.matmul(0, 4, 4)
+
+
+class TestConv2d:
+    def test_output_spatial_dims(self):
+        wl = ops.conv2d(1, 64, 56, 56, 128, 3, stride=2)
+        extents = wl.loop_extents()
+        assert extents["p"] == 28 and extents["q"] == 28
+        assert extents["ci"] == 64 and extents["ko"] == 128
+
+    def test_flops(self):
+        wl = ops.conv2d(1, 3, 8, 8, 4, 3, stride=1)
+        # 2 * N*K*P*Q*C*R*S
+        assert wl.flops == 2 * 1 * 4 * 8 * 8 * 3 * 3 * 3
+
+    def test_stride_encoded_in_access(self):
+        wl = ops.conv2d(1, 8, 16, 16, 8, 3, stride=2)
+        input_read = next(r for r in wl.reads if r.tensor == "I")
+        coeffs = {loop: c for dim in input_read.index for loop, c in dim}
+        assert coeffs["p"] == 2 and coeffs["r"] == 1
+
+
+class TestOtherOps:
+    def test_depthwise_has_no_channel_reduction(self):
+        wl = ops.depthwise_conv2d(1, 32, 28, 28, 3)
+        assert {d.name for d in wl.reduction} == {"r", "s"}
+
+    def test_conv_transpose_upsamples(self):
+        wl = ops.conv2d_transpose(1, 64, 8, 8, 32, 4, stride=2)
+        extents = wl.loop_extents()
+        assert extents["p"] == 16 and extents["q"] == 16
+
+    def test_pool_is_not_tiled(self):
+        wl = ops.pool2d(1, 64, 56, 56, 2, 2)
+        assert not wl.is_tiled
+
+    def test_elementwise_flops_equal_points(self):
+        wl = ops.elementwise((4, 8), op="relu")
+        assert wl.flops == 32
+        assert wl.tag == "elementwise"
+
+    def test_elementwise_rejects_empty_shape(self):
+        with pytest.raises(WorkloadError):
+            ops.elementwise(())
+
+
+class TestWorkloadDerived:
+    def test_with_fused_adds_epilogue_flops(self):
+        wl = ops.matmul(32, 32, 32)
+        fused = wl.with_fused("relu", "add")
+        assert fused.flops == wl.flops + 2 * 32 * 32
+        assert fused.fused_ops == ("relu", "add")
+
+    def test_key_is_stable_and_distinct(self):
+        a = ops.matmul(32, 32, 32)
+        b = ops.matmul(32, 32, 64)
+        assert a.key == ops.matmul(32, 32, 32).key
+        assert a.key != b.key
+
+    def test_duplicate_loop_names_rejected(self):
+        from repro.ir.expr import LoopDim
+        from repro.ir.ops import Workload
+
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="bad",
+                tag="matmul",
+                spatial=(LoopDim("i", 4), LoopDim("i", 8)),
+            )
+
+    def test_arithmetic_intensity_positive(self):
+        wl = ops.matmul(256, 256, 256)
+        assert wl.arithmetic_intensity() > 1

@@ -1,0 +1,182 @@
+"""Tests for the numpy NN substrate (autograd, layers, optim, losses)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sequential,
+    Tensor,
+    concatenate,
+    lambdarank_loss,
+    mse_loss,
+    no_grad,
+    pairwise_rank_accuracy,
+)
+from repro.nn.losses import lambdarank_lambdas
+from repro.rng import make_rng
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x)
+        flat[i] = orig - eps
+        minus = fn(x)
+        flat[i] = orig
+        grad.reshape(-1)[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_op(build, shape, seed=0, tol=1e-5):
+    rng = make_rng(seed)
+    x_data = rng.normal(size=shape)
+    x = Tensor(x_data.copy(), requires_grad=True)
+    loss = build(x)
+    loss.backward()
+    analytic = x.grad
+    num = numeric_grad(lambda d: float(build(Tensor(d)).data), x_data)
+    scale = np.abs(num).max() + 1e-9
+    assert np.abs(analytic - num).max() / scale < tol
+
+
+class TestAutogradGradients:
+    def test_add_mul(self):
+        check_op(lambda x: ((x + 2.0) * (x * 3.0)).sum(), (3, 4))
+
+    def test_matmul(self):
+        w = Tensor(make_rng(1).normal(size=(4, 5)))
+        check_op(lambda x: ((x @ w) ** 2.0).sum(), (3, 4))
+
+    def test_batched_matmul_broadcast(self):
+        w = Tensor(make_rng(2).normal(size=(6, 7)))
+        check_op(lambda x: ((x @ w) ** 2.0).sum(), (2, 5, 6))
+
+    def test_softmax(self):
+        check_op(lambda x: (x.softmax(-1) ** 2.0).sum(), (3, 5))
+
+    def test_relu_tanh_sigmoid(self):
+        check_op(lambda x: (x.relu() + x.tanh() + x.sigmoid()).sum(), (4, 4))
+
+    def test_reshape_transpose(self):
+        check_op(lambda x: (x.reshape(2, 6).transpose(1, 0) ** 2.0).sum(), (3, 4))
+
+    def test_mean_keepdims(self):
+        check_op(
+            lambda x: ((x - x.mean(axis=-1, keepdims=True)) ** 2.0).sum(),
+            (3, 4),
+            tol=1e-4,
+        )
+
+    def test_concatenate(self):
+        check_op(lambda x: (concatenate([x, x * 2.0], axis=-1) ** 2.0).sum(), (2, 3))
+
+    def test_layernorm(self):
+        ln = LayerNorm(4)
+        check_op(lambda x: (ln(x) ** 2.0).sum(), (3, 4), tol=1e-4)
+
+    def test_attention(self):
+        attn = MultiHeadSelfAttention(8, heads=2)
+        check_op(lambda x: (attn(x) ** 2.0).sum(), (2, 5, 8), tol=1e-4)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2.0).sum()
+        assert y._backward is None
+        assert not y.requires_grad
+
+
+class TestModule:
+    def test_named_parameters_stable(self):
+        net = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 1, seed=1))
+        names = [n for n, _ in net.named_parameters()]
+        assert names == [n for n, _ in net.named_parameters()]
+        assert len(names) == 4  # 2 weights + 2 biases
+
+    def test_get_set_roundtrip(self):
+        a = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 1, seed=1))
+        b = Sequential(Linear(4, 8, seed=7), ReLU(), Linear(8, 1, seed=9))
+        b.set_params(a.get_params())
+        x = Tensor(make_rng(0).normal(size=(5, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_set_params_rejects_bad_names(self):
+        from repro.errors import CostModelError
+
+        net = Sequential(Linear(4, 8))
+        with pytest.raises(CostModelError):
+            net.set_params({"bogus": np.zeros(3)})
+
+
+class TestTraining:
+    def test_adam_fits_linear_function(self):
+        rng = make_rng(0)
+        net = Sequential(Linear(4, 16, seed=1), ReLU(), Linear(16, 1, seed=2))
+        opt = Adam(net.parameters(), lr=1e-2)
+        x = rng.normal(size=(256, 4))
+        y = x.sum(axis=1, keepdims=True)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = mse_loss(net(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+    def test_grad_clip_limits_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = Adam([p], lr=1.0, grad_clip=1.0)
+        p.grad = np.full(4, 100.0)
+        opt._clip()
+        assert np.linalg.norm(p.grad) <= 1.0 + 1e-9
+
+
+class TestLambdaRank:
+    def test_lambda_signs(self):
+        scores = np.zeros(5)
+        labels = np.linspace(0, 1, 5)
+        lam = lambdarank_lambdas(scores, labels)
+        assert lam[-1] < 0 < lam[0]  # push best up (negative grad), worst down
+
+    def test_lambdas_sum_to_zero(self):
+        rng = make_rng(0)
+        lam = lambdarank_lambdas(rng.normal(size=10), rng.random(10))
+        assert abs(lam.sum()) < 1e-9
+
+    def test_training_sorts_a_group(self):
+        rng = make_rng(3)
+        scores = Tensor(rng.normal(size=30), requires_grad=True)
+        labels = np.linspace(0, 1, 30)
+        groups = [np.arange(30)]
+        opt = Adam([scores], lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = lambdarank_loss(scores, labels, groups)
+            loss.backward()
+            opt.step()
+        acc = pairwise_rank_accuracy(scores.data, labels, groups)
+        assert acc > 0.9
+
+    def test_single_element_group_is_noop(self):
+        scores = Tensor(np.array([1.0]), requires_grad=True)
+        loss = lambdarank_loss(scores, np.array([1.0]), [np.array([0])])
+        loss.backward()
+        assert np.allclose(scores.grad, 0.0)
+
+    def test_rank_accuracy_bounds(self):
+        labels = np.array([0.1, 0.5, 0.9])
+        groups = [np.arange(3)]
+        assert pairwise_rank_accuracy(labels, labels, groups) == 1.0
+        assert pairwise_rank_accuracy(-labels, labels, groups) == 0.0

@@ -1,0 +1,241 @@
+"""Tests for the search infrastructure (tasks, records, policies, tuner)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SearchConfig, TrainConfig
+from repro.core.analyzer import is_launchable
+from repro.costmodel import GBDTModel, PaCM
+from repro.costmodel.base import RandomModel
+from repro.hardware.device import get_device
+from repro.hardware.measure import MeasureRunner
+from repro.ir import ops
+from repro.ir.partition import SubgraphTask
+from repro.rng import make_rng
+from repro.schedule import lower, random_config
+from repro.search import (
+    AnsorPolicy,
+    GradientTaskScheduler,
+    PrunerPolicy,
+    RecordLog,
+    Tuner,
+    TuningRecord,
+    make_tasks,
+)
+from repro.search.records import CurvePoint, time_to_reach
+from repro.timemodel import EXPLORATION, SimClock
+
+SEARCH = SearchConfig(population=24, ga_steps=2, spec_size=16, measure_per_round=5)
+
+
+@pytest.fixture
+def two_tasks(a100):
+    subs = [
+        SubgraphTask(ops.matmul(256, 256, 256), 3),
+        SubgraphTask(ops.conv2d(1, 32, 28, 28, 64, 3), 2),
+    ]
+    return make_tasks(subs, a100)
+
+
+class TestTuningTask:
+    def test_make_tasks_skips_elementwise(self, a100):
+        subs = [
+            SubgraphTask(ops.matmul(64, 64, 64), 1),
+            SubgraphTask(ops.elementwise((64, 64)), 5),
+        ]
+        tasks = make_tasks(subs, a100)
+        assert len(tasks) == 1
+
+    def test_tensorcore_fallback_for_ineligible(self, a100):
+        subs = [SubgraphTask(ops.batch_matmul(8, 1, 64, 64, dtype="float16"), 1)]
+        (task,) = make_tasks(subs, a100, tensorcore=True)
+        assert not task.space.tensorcore  # fell back to CUDA cores
+
+    def test_task_key_includes_device(self, a100, t4):
+        sub = SubgraphTask(ops.matmul(64, 64, 64), 1)
+        (ta,) = make_tasks([sub], a100)
+        (tb,) = make_tasks([sub], t4)
+        assert ta.key != tb.key
+
+
+class TestRecordLog:
+    def _rec(self, task, latency, rng, round_index=0):
+        prog = lower(task.space, random_config(task.space, rng))
+        return TuningRecord(task.key, prog, latency, 0.0, round_index)
+
+    def test_best_tracking(self, two_tasks, rng):
+        log = RecordLog()
+        task = two_tasks[0]
+        log.add(self._rec(task, 2e-3, rng))
+        log.add(self._rec(task, 1e-3, rng))
+        log.add(self._rec(task, 5e-3, rng))
+        assert log.best_latency(task.key) == 1e-3
+
+    def test_invalid_records_never_best(self, two_tasks, rng):
+        log = RecordLog()
+        task = two_tasks[0]
+        log.add(self._rec(task, math.inf, rng))
+        assert log.best(task.key) is None
+        log.add(self._rec(task, 1e-3, rng))
+        assert log.best_latency(task.key) == 1e-3
+
+    def test_already_measured(self, two_tasks, rng):
+        log = RecordLog()
+        task = two_tasks[0]
+        rec = self._rec(task, 1e-3, rng)
+        log.add(rec)
+        assert log.already_measured(task.key, rec.prog.config.key)
+        assert not log.already_measured(task.key, "other")
+
+    def test_best_configs_sorted_and_deduped(self, two_tasks, rng):
+        log = RecordLog()
+        task = two_tasks[0]
+        for lat in (3e-3, 1e-3, 2e-3):
+            log.add(self._rec(task, lat, rng))
+        bests = log.best_configs(task.key, k=2)
+        assert len(bests) == 2
+
+    def test_time_to_reach(self):
+        curve = [CurvePoint(10, 5, 3.0), CurvePoint(20, 10, 2.0), CurvePoint(30, 15, 1.0)]
+        assert time_to_reach(curve, 2.5) == 20
+        assert math.isinf(time_to_reach(curve, 0.5))
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy_cls", [AnsorPolicy, PrunerPolicy])
+    def test_proposals_are_launchable_and_unique(self, policy_cls, two_tasks, a100):
+        clock = SimClock()
+        model = RandomModel()
+        task = two_tasks[0]
+        policy = policy_cls(task, model, search=SEARCH, clock=clock)
+        records = RecordLog()
+        progs = policy.propose(records, make_rng(0))
+        assert 0 < len(progs) <= SEARCH.measure_per_round
+        keys = [p.config.key for p in progs]
+        assert len(keys) == len(set(keys))
+        assert all(is_launchable(p, a100) for p in progs)
+
+    def test_no_remeasure(self, two_tasks, a100):
+        task = two_tasks[0]
+        policy = PrunerPolicy(task, RandomModel(), search=SEARCH)
+        records = RecordLog()
+        first = policy.propose(records, make_rng(0))
+        for p in first:
+            records.add(TuningRecord(task.key, p, 1e-3, 0.0, 0))
+        second = policy.propose(records, make_rng(1))
+        measured = {p.config.key for p in first}
+        assert all(p.config.key not in measured for p in second)
+
+    def test_ansor_charges_more_exploration_than_pruner(self, two_tasks):
+        """The core of Tables 1/7: draft-then-verify slashes inference."""
+        task = two_tasks[0]
+        results = {}
+        for name, cls, model in (
+            ("ansor", AnsorPolicy, GBDTModel()),
+            ("pruner", PrunerPolicy, PaCM()),
+        ):
+            clock = SimClock()
+            policy = cls(task, model, search=SEARCH, clock=clock)
+            records = RecordLog()
+            # seed one round so models count as trained
+            for p in policy.propose(records, make_rng(0)):
+                records.add(TuningRecord(task.key, p, 1e-3, 0.0, 0))
+            model.fit(*records.training_data(), train=TrainConfig(epochs=2))
+            clock_before = clock.elapsed(EXPLORATION)
+            policy.propose(records, make_rng(1))
+            results[name] = clock.elapsed(EXPLORATION) - clock_before
+        assert results["pruner"] < results["ansor"]
+
+
+class TestTaskScheduler:
+    def test_warmup_round_robin(self, two_tasks):
+        sched = GradientTaskScheduler(two_tasks)
+        records = RecordLog()
+        first = sched.select(records)
+        sched.notify(first, records)
+        second = sched.select(records)
+        assert first.key != second.key
+
+    def test_prefers_unmeasured_tasks(self, two_tasks, rng):
+        sched = GradientTaskScheduler(two_tasks)
+        records = RecordLog()
+        t0 = two_tasks[0]
+        prog = lower(t0.space, random_config(t0.space, rng))
+        records.add(TuningRecord(t0.key, prog, 1e-3, 0.0, 0))
+        sched.notify(t0, records)
+        assert sched.select(records).key == two_tasks[1].key
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            GradientTaskScheduler([])
+
+
+class TestTuner:
+    def _build(self, tasks, a100, mode="online", model=None, adapter=None):
+        clock = SimClock()
+        runner = MeasureRunner(a100, clock=clock, rng=make_rng(0))
+        model = model or PaCM()
+        policies = {
+            t.key: PrunerPolicy(t, model, search=SEARCH, clock=clock) for t in tasks
+        }
+        return Tuner(
+            tasks,
+            policies,
+            model,
+            runner,
+            clock,
+            mode=mode,
+            adapter=adapter,
+            train=TrainConfig(epochs=2),
+            rng=make_rng(1),
+        )
+
+    def test_curve_monotone_after_warmup(self, two_tasks, a100):
+        result = self._build(two_tasks, a100).tune(8)
+        finite = [p.latency for p in result.curve if math.isfinite(p.latency)]
+        assert finite, "curve never became finite"
+        assert all(b <= a * 1.0001 for a, b in zip(finite, finite[1:]))
+
+    def test_trials_counted(self, two_tasks, a100):
+        result = self._build(two_tasks, a100).tune(6)
+        assert result.total_trials <= 6 * SEARCH.measure_per_round
+        assert result.total_trials > 0
+
+    def test_offline_mode_never_trains(self, two_tasks, a100):
+        model = PaCM()
+        tuner = self._build(two_tasks, a100, mode="offline", model=model)
+        before = model.get_params()
+        tuner.tune(4)
+        after = model.get_params()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_moa_mode_updates_siamese(self, two_tasks, a100):
+        from repro.core.moa import MomentumAdapter
+
+        model = PaCM()
+        # give the adapter trained-shape params (incl. norm stats)
+        progs = []
+        task = two_tasks[0]
+        rng = make_rng(2)
+        progs = [lower(task.space, random_config(task.space, rng)) for _ in range(8)]
+        model.fit(progs, np.full(8, 1e-3), [task.key] * 8, train=TrainConfig(epochs=1))
+        adapter = MomentumAdapter.from_model(model)
+        start = adapter.siamese_params
+        tuner = self._build(two_tasks, a100, mode="moa", model=model, adapter=adapter)
+        tuner.tune(4)
+        assert adapter.drift(start) > 0
+
+    def test_unknown_mode_rejected(self, two_tasks, a100):
+        with pytest.raises(ValueError):
+            self._build(two_tasks, a100, mode="bogus")
+
+    def test_fixed_latency_added_to_curve(self, two_tasks, a100):
+        tuner = self._build(two_tasks, a100)
+        tuner.fixed_latency = 1.0
+        result = tuner.tune(4)
+        finite = [p.latency for p in result.curve if math.isfinite(p.latency)]
+        assert all(v >= 1.0 for v in finite)
