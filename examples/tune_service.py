@@ -1,0 +1,63 @@
+"""Tuning as a service: job queue, worker pool, persistent warm starts.
+
+Demonstrates the `repro.service` workflow:
+
+1. submit several tuning jobs to a :class:`TuningService`,
+2. drain them with a multi-worker pool (each job deterministic),
+3. read best schedules back from the persistent record store,
+4. resubmit the same workload — the second run warm-starts from the
+   cached records and measures (almost) nothing new.
+
+    python examples/tune_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.service import TuningService
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="pruner-cache-") as cache_dir:
+        service = TuningService(cache_dir, workers=2)
+
+        # 1. queue a few jobs (higher priority runs first)
+        jobs = [
+            service.submit("bert_tiny", device="a100", rounds=8, priority=1),
+            service.submit("bert_tiny", device="t4", rounds=8),
+            service.submit("gpt2", device="a100", rounds=8, top_k_tasks=3),
+        ]
+
+        # 2. run them across the worker pool
+        print(f"running {len(jobs)} jobs on 2 workers ...")
+        states = service.run()
+        for job_id, state in states.items():
+            if state != "done":
+                print(f"  {job_id}: {state} ({service.queue.get(job_id).error})")
+                continue
+            result = service.result(job_id)
+            print(
+                f"  {job_id}: {state}, {result.fresh_trials} trials measured,"
+                f" final {result.final_latency * 1e6:.1f} us"
+            )
+
+        # 3. best schedules survive in the record store
+        summary = service.best_schedule("bert_tiny", device="a100")
+        print(f"\nbest schedules for bert_tiny@a100 ({len(summary['tasks'])} tasks):")
+        for task_key, entry in sorted(summary["tasks"].items()):
+            print(f"  {entry['latency'] * 1e6:8.1f} us  x{entry['weight']}  {task_key}")
+
+        # 4. warm start: same workload again, same cache
+        warm = TuningService(cache_dir, workers=2)
+        job_id = warm.submit("bert_tiny", device="a100", rounds=8, priority=1)
+        warm.run()
+        result = warm.result(job_id)
+        print(
+            f"\nwarm rerun: {result.seeded_trials} trials loaded from cache,"
+            f" {result.fresh_trials} fresh, final {result.final_latency * 1e6:.1f} us"
+        )
+
+
+if __name__ == "__main__":
+    main()

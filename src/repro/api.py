@@ -10,26 +10,28 @@ This is the facade the examples, experiments and benchmarks use:
 
 Methods (paper Section 5/6):
 
-=================  ====================================================
-``ansor``          evolutionary search + XGBoost-style model, online
-``tensetmlp``      evolutionary search + MLP, offline pre-trained
-``tlp``            evolutionary search + primitive transformer, offline
-``pruner``         draft-then-verify + PaCM, online
-``moa-pruner``     draft-then-verify + PaCM + momentum adaptation
-``pruner-offline`` draft-then-verify + pre-trained PaCM, frozen
-``pruner-finetune``draft-then-verify + pre-trained PaCM, online FT
-``metaschedule``   evolutionary search + MLP, TensorCore templates
-``pruner-tc``      Pruner integrated into MetaSchedule (TensorCore)
-``pruner-no-lse``  ablation: PaCM verifies evolutionary candidates
-``pruner-no-sf``   ablation: PaCM without statement features
-``pruner-no-tdf``  ablation: PaCM without temporal dataflow features
-=================  ====================================================
+=========================  ================================================
+``ansor``                  evolutionary search + XGBoost-style model, online
+``tensetmlp``              evolutionary search + MLP, offline pre-trained
+``tlp``                    evolutionary search + primitive transformer, offline
+``pruner``                 draft-then-verify + PaCM, online
+``moa-pruner``             draft-then-verify + PaCM + momentum adaptation
+``pruner-offline``         draft-then-verify + pre-trained PaCM, frozen
+``pruner-finetune``        draft-then-verify + pre-trained PaCM, online FT
+``metaschedule``           evolutionary search + MLP, TensorCore templates
+``pruner-tc``              Pruner integrated into MetaSchedule (TensorCore)
+``pruner-no-lse``          ablation: PaCM verifies evolutionary candidates
+``pruner-offline-no-lse``  ablation: frozen PaCM verifies evolutionary
+``pruner-no-sf``           ablation: PaCM without statement features
+``pruner-no-tdf``          ablation: PaCM without temporal dataflow features
+=========================  ================================================
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from collections.abc import Iterable
+from pathlib import Path
 
 import numpy as np
 
@@ -53,6 +55,8 @@ from repro.schedule.lower import lower
 from repro.schedule.sampler import random_config
 from repro.schedule.sketch import generate_sketch
 from repro.search import AnsorPolicy, PrunerPolicy, Tuner, make_tasks
+from repro.search.records import TuningRecord
+from repro.search.task import TuningTask
 from repro.search.tuner import TuneResult
 from repro.timemodel import SimClock
 from repro.workloads import network_tasks
@@ -64,6 +68,66 @@ SCALES: dict[str, SearchConfig] = {
 }
 
 _OFFLINE_MODES = {"tensetmlp", "tlp", "pruner-offline", "pruner-offline-no-lse"}
+
+#: Every tuning method this facade knows (the table above).
+KNOWN_METHODS = frozenset(
+    {
+        "ansor",
+        "tensetmlp",
+        "tlp",
+        "pruner",
+        "moa-pruner",
+        "pruner-offline",
+        "pruner-offline-no-lse",
+        "pruner-finetune",
+        "metaschedule",
+        "pruner-tc",
+        "pruner-no-lse",
+        "pruner-no-sf",
+        "pruner-no-tdf",
+    }
+)
+
+
+def resolve_method(method: str) -> str:
+    """Validate a method name; unknown names raise SearchError.
+
+    Without this check a typo'd method would silently fall through the
+    default branches of the dispatch helpers and tune as plain Pruner.
+    """
+    if method not in KNOWN_METHODS:
+        raise SearchError(
+            f"unknown method {method!r}; valid methods: {sorted(KNOWN_METHODS)}"
+        )
+    return method
+
+
+def resolve_scale(scale: str) -> SearchConfig:
+    """Look up a named search scale; unknown names raise SearchError."""
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise SearchError(
+            f"unknown scale {scale!r}; valid scales: {sorted(SCALES)}"
+        ) from None
+
+
+def tasks_for(
+    method: str,
+    subgraphs: list[SubgraphTask],
+    device: DeviceSpec,
+    tensorcore: bool = False,
+) -> list[TuningTask]:
+    """The tuning tasks a method builds for a set of subgraphs.
+
+    Shared by :func:`build_tuner` and the record store (the store keys
+    persisted records by exactly these tasks, so both sides must agree).
+    """
+    use_tc = tensorcore or method in ("metaschedule", "pruner-tc")
+    tasks = make_tasks(subgraphs, device, tensorcore=use_tc)
+    if not tasks:
+        raise SearchError("no tiled subgraphs to tune")
+    return tasks
 
 
 def _default_model(method: str, seed: int) -> CostModel:
@@ -88,6 +152,14 @@ def _mode_for(method: str) -> str:
     if method == "pruner-finetune":
         return "finetune"
     return "online"
+
+
+#: Methods that need ``pretrained=`` parameters — everything whose
+#: cost-model mode is not plain online training.  Derived from
+#: :func:`_mode_for` so the sets cannot drift: :func:`build_tuner`
+#: raises without parameters for exactly these, and callers that cannot
+#: supply them (e.g. the tuning service) reject them up front.
+PRETRAINED_METHODS = frozenset(m for m in KNOWN_METHODS if _mode_for(m) != "online")
 
 
 def _policy_class(method: str):
@@ -135,14 +207,21 @@ def build_tuner(
     tensorcore: bool = False,
     seed: int = 0,
     include_fixed: bool = True,
+    initial_records: Iterable[TuningRecord] | None = None,
+    tasks: list[TuningTask] | None = None,
 ) -> Tuner:
     """Assemble a :class:`~repro.search.tuner.Tuner` for one method.
 
     ``pretrained`` supplies cost-model parameters for the offline,
     finetune and MoA modes (see :func:`pretrain_model`).
+    ``initial_records`` warm-starts the tuner's record log (the
+    ``cache_dir`` fast path of :func:`tune_subgraphs`).  ``tasks``
+    skips task construction when the caller already built them via
+    :func:`tasks_for`.
     """
     if isinstance(device, str):
         device = get_device(device)
+    resolve_method(method)
     search = search or LITE_SEARCH
     train = train or ONLINE_TRAIN
     mode = _mode_for(method)
@@ -158,10 +237,8 @@ def build_tuner(
             raise SearchError(f"{method} needs pretrained model parameters")
         model.set_params(pretrained)
 
-    use_tc = tensorcore or method in ("metaschedule", "pruner-tc")
-    tasks = make_tasks(subgraphs, device, tensorcore=use_tc)
-    if not tasks:
-        raise SearchError("no tiled subgraphs to tune")
+    if tasks is None:
+        tasks = tasks_for(method, subgraphs, device, tensorcore=tensorcore)
 
     clock = SimClock()
     runner = MeasureRunner(device, clock=clock, rng=make_rng(seed))
@@ -181,6 +258,7 @@ def build_tuner(
         train=train,
         fixed_latency=fixed,
         rng=make_rng(seed + 1),
+        initial_records=initial_records,
     )
 
 
@@ -190,12 +268,47 @@ def tune_subgraphs(
     device: DeviceSpec | str,
     rounds: int = 20,
     scale: str = "lite",
+    cache_dir: str | Path | None = None,
     **kwargs,
 ) -> TuneResult:
-    """Tune a set of subgraphs and return the result."""
-    search = kwargs.pop("search", None) or SCALES[scale]
-    tuner = build_tuner(method, subgraphs, device, search=search, **kwargs)
-    return tuner.tune(rounds)
+    """Tune a set of subgraphs and return the result.
+
+    With ``cache_dir`` set, records persisted by earlier runs of the
+    same ``(workload set, device, method)`` warm-start the tuner — known
+    configs are not re-measured and count toward the run's trial budget
+    (``rounds * measure_per_round``) — and this run's fresh records are
+    written back for the next one.
+    """
+    resolve_method(method)
+    search = kwargs.pop("search", None) or resolve_scale(scale)
+    if cache_dir is None:
+        tuner = build_tuner(method, subgraphs, device, search=search, **kwargs)
+        return tuner.tune(rounds)
+
+    from repro.service.store import RecordStore, store_key_for_tasks
+
+    if isinstance(device, str):
+        device = get_device(device)
+    tasks = tasks_for(
+        method, subgraphs, device, tensorcore=bool(kwargs.get("tensorcore", False))
+    )
+    store = RecordStore(cache_dir)
+    key = store_key_for_tasks(tasks, method)
+    initial = store.load_records(key, {t.key: t.space for t in tasks})
+    tuner = build_tuner(
+        method,
+        subgraphs,
+        device,
+        search=search,
+        initial_records=initial,
+        tasks=tasks,
+        **kwargs,
+    )
+    result = tuner.tune(rounds, trial_budget=rounds * search.measure_per_round)
+    # seeded records sit at the front of the log and are already on
+    # disk; persist only the fresh tail
+    store.append(key, result.records.records[result.seeded_trials :])
+    return result
 
 
 def tune_network(
@@ -206,15 +319,27 @@ def tune_network(
     scale: str = "lite",
     batch: int = 1,
     top_k_tasks: int | None = None,
+    cache_dir: str | Path | None = None,
     **kwargs,
 ) -> TuneResult:
     """End-to-end network tuning (graph partition + multi-task search)."""
+    resolve_method(method)  # fail fast, before building the network graph
+    if "search" not in kwargs:
+        resolve_scale(scale)
     net_kwargs = {}
     for key in ("dtype", "seq"):
         if key in kwargs:
             net_kwargs[key] = kwargs.pop(key)
     subgraphs = network_tasks(network, batch=batch, top_k=top_k_tasks, **net_kwargs)
-    return tune_subgraphs(method, subgraphs, device, rounds=rounds, scale=scale, **kwargs)
+    return tune_subgraphs(
+        method,
+        subgraphs,
+        device,
+        rounds=rounds,
+        scale=scale,
+        cache_dir=cache_dir,
+        **kwargs,
+    )
 
 
 def pretrain_model(

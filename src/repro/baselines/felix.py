@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 
-from repro.config import SearchConfig
 from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable
 from repro.errors import TuningFailure
 from repro.hardware.device import DeviceSpec

@@ -14,7 +14,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable
 from repro.hardware.device import DeviceSpec

@@ -12,7 +12,6 @@ invalid programs), as in Ansor/TenSet.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 
 import numpy as np

@@ -7,7 +7,7 @@ boosted on squared error of the normalized-throughput labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -15,7 +15,6 @@ from repro.config import TrainConfig
 from repro.costmodel.base import CostModel, make_labels
 from repro.features.statement import statement_matrix
 from repro.nn.losses import pairwise_rank_accuracy
-from repro.rng import make_rng
 from repro.schedule.lower import LoweredProgram
 
 

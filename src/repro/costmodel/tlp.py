@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.costmodel.base import NNCostModel
-from repro.features.primitives import PRIMITIVE_DIM, PRIMITIVE_SEQ, primitive_tensor
+from repro.features.primitives import PRIMITIVE_DIM, primitive_tensor
 from repro.nn.autograd import Tensor
 from repro.nn.layers import (
     LayerNorm,

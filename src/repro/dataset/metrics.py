@@ -68,7 +68,7 @@ def best_k_score(
         raise DatasetError("k must be >= 1")
     numer = denom = 0.0
     for key, lats in spec_latencies.items():
-        finite = sorted(l for l in lats if math.isfinite(l))
+        finite = sorted(v for v in lats if math.isfinite(v))
         if not finite:
             continue
         kth = finite[min(k, len(finite)) - 1]

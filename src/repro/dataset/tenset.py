@@ -12,7 +12,6 @@ Sizes are configurable; defaults are laptop-scale.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -13,7 +13,6 @@ from repro import api
 from repro.config import SearchConfig, TrainConfig
 from repro.costmodel import PaCM, TenSetMLP, TLPModel
 from repro.errors import ReproError
-from repro.hardware.device import get_device
 from repro.ir.partition import SubgraphTask
 from repro.search.tuner import TuneResult
 

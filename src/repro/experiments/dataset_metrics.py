@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.config import SearchConfig
 from repro.core.analyzer import SymbolBasedAnalyzer
@@ -105,7 +104,7 @@ def lse_penalty_ablation(
                 )
                 all_specs[(name, size, seed)] = spec
                 for key, lats in spec.items():
-                    finite = [l for l in lats if math.isfinite(l)]
+                    finite = [v for v in lats if math.isfinite(v)]
                     if finite:
                         optimal[key] = min(optimal.get(key, math.inf), min(finite))
 
@@ -156,11 +155,11 @@ def lse_vs_ga_bestk(
                     sim.latency(lower(space, c))
                     for c in random_population(space, rng, budget)
                 ]
-                finite = [l for l in pool if math.isfinite(l)]
+                finite = [v for v in pool if math.isfinite(v)]
                 idx = rng.choice(len(pool), size=min(size, len(pool)), replace=False)
                 rand_spec[sub.workload.key] = [pool[int(i)] for i in idx]
                 best_lse = min(
-                    (l for l in lse_spec[sub.workload.key] if math.isfinite(l)),
+                    (v for v in lse_spec[sub.workload.key] if math.isfinite(v)),
                     default=math.inf,
                 )
                 optimal[sub.workload.key] = min(min(finite), best_lse)

@@ -10,7 +10,7 @@ bottom of this module build the operator classes the paper evaluates
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import WorkloadError
 from repro.ir.expr import AccessPattern, LoopDim

@@ -10,23 +10,29 @@ broadcasting, softmax, reductions, shape ops).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Thread-local so concurrent tuning workers (repro.service) can run
+# no_grad inference while another worker is mid-training.
+_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_STATE, "grad_enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (fast inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_enabled()
+    _STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -47,7 +53,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and _grad_enabled()
         self._backward: Callable[[], None] | None = None
         self._parents: tuple["Tensor", ...] = ()
 
@@ -77,7 +83,7 @@ class Tensor:
     def _make(data: np.ndarray, parents: Iterable["Tensor"], backward) -> "Tensor":
         parents = tuple(parents)
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward

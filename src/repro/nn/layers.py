@@ -7,7 +7,7 @@ import math
 import numpy as np
 
 from repro.errors import CostModelError
-from repro.nn.autograd import Tensor, concatenate
+from repro.nn.autograd import Tensor
 from repro.rng import make_rng
 
 

@@ -9,7 +9,6 @@ draft-then-verify policy (:mod:`repro.search.pruner_policy`) eliminates.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 
 import numpy as np

@@ -3,11 +3,21 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.schedule.lower import LoweredProgram
+from repro.schedule.lower import LoweredProgram, lower
+from repro.schedule.space import ScheduleConfig, ScheduleSpace
+
+#: Version of the on-disk record schema (see :mod:`repro.service.store`).
+RECORD_SCHEMA_VERSION = 1
+
+
+def _encode_latency(latency: float) -> float | str:
+    """JSON-safe latency: non-finite values become strings."""
+    return latency if math.isfinite(latency) else repr(latency)
 
 
 @dataclass(frozen=True)
@@ -19,6 +29,57 @@ class TuningRecord:
     latency: float  # seconds; inf for invalid programs
     sim_time: float  # simulated wall clock at measurement
     round_index: int
+
+    # ------------------------------------------------------------------
+    # serialization (persistent record store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form; the program is stored as its config.
+
+        The lowered program itself is *not* serialized — it is a pure
+        function of ``(schedule space, config)``, so :meth:`from_dict`
+        re-lowers the config against the task's space.
+        """
+        config = self.prog.config
+        return {
+            "v": RECORD_SCHEMA_VERSION,
+            "task_key": self.task_key,
+            "workload_key": self.prog.workload.key,
+            "config": {
+                "tiles": [[axis, list(factors)] for axis, factors in config.tiles],
+                "unroll": config.unroll,
+                "vector": config.vector,
+                "splitk": config.splitk,
+            },
+            "config_key": config.key,
+            "latency": _encode_latency(self.latency),
+            "sim_time": self.sim_time,
+            "round_index": self.round_index,
+        }
+
+    @staticmethod
+    def from_dict(data: dict, space: ScheduleSpace) -> "TuningRecord":
+        """Rebuild a record by re-lowering its config against ``space``.
+
+        Raises :class:`~repro.errors.ScheduleError` /
+        :class:`~repro.errors.LoweringError` if the stored config no
+        longer lies in the space (e.g. the sketch changed between
+        versions) — callers typically skip such rows.
+        """
+        cfg = data["config"]
+        config = ScheduleConfig.from_map(
+            {axis: tuple(factors) for axis, factors in cfg["tiles"]},
+            unroll=int(cfg["unroll"]),
+            vector=int(cfg["vector"]),
+            splitk=int(cfg["splitk"]),
+        )
+        return TuningRecord(
+            task_key=data["task_key"],
+            prog=lower(space, config),
+            latency=float(data["latency"]),
+            sim_time=float(data["sim_time"]),
+            round_index=int(data["round_index"]),
+        )
 
 
 class RecordLog:
@@ -42,9 +103,25 @@ class RecordLog:
         ):
             self._best[record.task_key] = record
 
-    def extend(self, records: list[TuningRecord]) -> None:
+    def extend(self, records: Iterable[TuningRecord]) -> None:
+        """Record every trial from any iterable of records."""
         for r in records:
             self.add(r)
+
+    def seed_from(self, records: Iterable[TuningRecord]) -> int:
+        """Warm-start this log from previously persisted records.
+
+        Deduplicates on ``(task key, config key)`` so re-seeding from a
+        store that overlaps what is already logged is harmless.  Returns
+        the number of records actually added.
+        """
+        added = 0
+        for r in records:
+            if self.already_measured(r.task_key, r.prog.config.key):
+                continue
+            self.add(r)
+            added += 1
+        return added
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -15,7 +15,7 @@ so stagnating tasks decay and promising or under-explored tasks win.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.search.records import RecordLog
 from repro.search.task import TuningTask

@@ -18,7 +18,8 @@ modes, matching the paper's experimental settings (Section 5):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,6 +36,10 @@ from repro.timemodel import SimClock
 
 _MODES = ("online", "offline", "moa", "finetune")
 
+#: Fewest records worth fitting a cost model on — shared by the online
+#: update loop and the warm-start seed handling so they cannot drift.
+MIN_TRAIN_RECORDS = 4
+
 
 @dataclass
 class TuneResult:
@@ -46,6 +51,7 @@ class TuneResult:
     best: dict[str, float]  # task key -> best latency (seconds)
     weights: dict[str, int]
     fixed_latency: float = 0.0  # untuned (element-wise) network part
+    seeded_trials: int = 0  # records loaded from a store before tuning
 
     @property
     def final_latency(self) -> float:
@@ -57,6 +63,11 @@ class TuneResult:
     @property
     def total_trials(self) -> int:
         return len(self.records)
+
+    @property
+    def fresh_trials(self) -> int:
+        """Trials actually measured in this run (total minus warm-start)."""
+        return len(self.records) - self.seeded_trials
 
     def time_to(self, target_latency: float) -> float:
         """Simulated seconds until the curve first reaches the target."""
@@ -79,6 +90,7 @@ class Tuner:
         train_every: int = 1,
         fixed_latency: float = 0.0,
         rng: np.random.Generator | None = None,
+        initial_records: Iterable[TuningRecord] | None = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -100,13 +112,45 @@ class Tuner:
         self.records = RecordLog()
         self.scheduler = GradientTaskScheduler(tasks)
         self._round = 0
+        # Warm start: seed the log with prior records so policies skip
+        # re-measuring known configs and GA seeding starts from the
+        # cached bests (the record-reuse fast path of repro.service).
+        self.seeded_trials = (
+            self.records.seed_from(initial_records) if initial_records else 0
+        )
+        # A non-empty log makes policies take their model-guided branch,
+        # so the model must not be blank: train it on the seeded records
+        # up front.  Offline/finetune models arrive pre-trained, so they
+        # keep even a tiny seed; online/moa models start blank, and with
+        # too few records to train on the seed is discarded — a cold
+        # start beats ranking round one with an unfitted model.
+        if self.seeded_trials > 0 and self.mode != "offline":
+            if len(self.records) >= MIN_TRAIN_RECORDS:
+                self._update_model()
+            elif self.mode in ("online", "moa"):
+                self.records = RecordLog()
+                self.seeded_trials = 0
 
     # ------------------------------------------------------------------
-    def tune(self, rounds: int) -> TuneResult:
-        """Run ``rounds`` tuning rounds and return the result."""
+    def tune(self, rounds: int, trial_budget: int | None = None) -> TuneResult:
+        """Run up to ``rounds`` tuning rounds and return the result.
+
+        ``trial_budget`` caps the *total* number of logged trials,
+        warm-start records included: once the log holds that many
+        trials, remaining rounds are skipped.  A warm-started run whose
+        cache already covers the budget therefore measures nothing new.
+        """
         curve: list[CurvePoint] = []
         for _ in range(rounds):
-            self.step()
+            remaining = (
+                trial_budget - len(self.records) if trial_budget is not None else None
+            )
+            if remaining is not None and remaining <= 0:
+                break
+            self.step(max_trials=remaining)
+            curve.append(self._curve_point())
+        if not curve:
+            # Fully warm-started: report the state the cache put us in.
             curve.append(self._curve_point())
         return TuneResult(
             curve=curve,
@@ -115,13 +159,20 @@ class Tuner:
             best={t.key: self.records.best_latency(t.key) for t in self.tasks},
             weights={t.key: t.weight for t in self.tasks},
             fixed_latency=self.fixed_latency,
+            seeded_trials=self.seeded_trials,
         )
 
-    def step(self) -> None:
-        """One tuning round: select task, propose, measure, update model."""
+    def step(self, max_trials: int | None = None) -> None:
+        """One tuning round: select task, propose, measure, update model.
+
+        ``max_trials`` truncates the measurement batch so a trial budget
+        is honored exactly, not just at round granularity.
+        """
         task = self.scheduler.select(self.records)
         policy = self.policies[task.key]
         progs = policy.propose(self.records, self.rng)
+        if max_trials is not None:
+            progs = progs[:max_trials]
         if progs:
             results = self.runner.measure(progs)
             for res in results:
@@ -142,7 +193,7 @@ class Tuner:
     # ------------------------------------------------------------------
     def _update_model(self) -> None:
         progs, lats, keys = self.records.training_data()
-        if len(progs) < 4:
+        if len(progs) < MIN_TRAIN_RECORDS:
             return
         if self.mode == "moa":
             assert self.adapter is not None

@@ -1,0 +1,31 @@
+"""Tuning-as-a-service layer: persistent records, job queue, workers.
+
+* :mod:`repro.service.store` — :class:`RecordStore` persists
+  :class:`~repro.search.records.TuningRecord` rows as JSON-lines keyed
+  by ``(workload key, device, method)``, with dedup, a versioned schema
+  and best-config lookup.
+* :mod:`repro.service.jobs` — :class:`TuneJob` + a thread-safe priority
+  :class:`JobQueue` with pending/running/done/failed states and retry.
+* :mod:`repro.service.workers` — :class:`WorkerPool` shards queued jobs
+  across N workers with deterministic per-job seeds.
+* :mod:`repro.service.server` — the :class:`TuningService` facade
+  (``submit`` / ``run`` / ``status`` / ``result`` / ``best_schedule``):
+  every job warm-starts from cached records and writes new ones back.
+* :mod:`repro.service.cli` — ``python -m repro.service tune/status/export``.
+"""
+
+from repro.service.jobs import JobQueue, JobState, TuneJob
+from repro.service.server import TuningService
+from repro.service.store import RecordStore, StoreKey, store_key_for_tasks
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "JobQueue",
+    "JobState",
+    "TuneJob",
+    "TuningService",
+    "RecordStore",
+    "StoreKey",
+    "store_key_for_tasks",
+    "WorkerPool",
+]

@@ -1,0 +1,181 @@
+"""Command-line front end: ``python -m repro.service <command>``.
+
+Commands
+--------
+``tune``
+    Queue one job per ``--network`` (repeatable), drain them with a
+    worker pool against a shared record cache, and print each job's
+    best-schedule summary.
+``status``
+    Show the job ledger and per-key record-store statistics of a cache
+    directory, without running anything.
+``export``
+    Dump every persisted record row as JSON (stdout or ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+from repro.errors import ReproError
+
+DEFAULT_CACHE = ".pruner-cache"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="Persistent multi-worker tuning service",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="queue tuning jobs and run them")
+    tune.add_argument(
+        "--network",
+        action="append",
+        required=True,
+        help="network to tune (repeat to queue several jobs)",
+    )
+    tune.add_argument("--device", default="a100")
+    tune.add_argument("--method", default="pruner")
+    tune.add_argument("--rounds", type=_positive_int, default=8)
+    tune.add_argument("--scale", default="smoke")
+    tune.add_argument("--batch", type=_positive_int, default=1)
+    tune.add_argument("--top-k-tasks", type=_positive_int, default=None)
+    tune.add_argument("--seed", type=int, default=None)
+    tune.add_argument("--workers", type=_positive_int, default=1)
+    tune.add_argument("--cache-dir", default=DEFAULT_CACHE)
+
+    status = sub.add_parser("status", help="show job ledger and store stats")
+    status.add_argument("--cache-dir", default=DEFAULT_CACHE)
+
+    export = sub.add_parser("export", help="dump persisted records as JSON")
+    export.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    export.add_argument("--output", default=None, help="file path (default: stdout)")
+    return parser
+
+
+def _fmt_latency(latency: float | None) -> str:
+    if latency is None or not math.isfinite(latency):
+        return "n/a"
+    return f"{latency * 1e6:.1f} us"
+
+
+def _cmd_tune(args: argparse.Namespace, out) -> int:
+    from repro.service.server import TuningService
+
+    service = TuningService(args.cache_dir, workers=args.workers)
+    for network in args.network:
+        job_id = service.submit(
+            network,
+            device=args.device,
+            method=args.method,
+            rounds=args.rounds,
+            scale=args.scale,
+            batch=args.batch,
+            top_k_tasks=args.top_k_tasks,
+            seed=args.seed,
+        )
+        print(f"queued {job_id}: {network}@{args.device} ({args.method})", file=out)
+
+    states = service.run()
+    failed = 0
+    for job in service.queue.jobs():
+        print(f"\n{job.describe()}", file=out)
+        if job.state.value != "done":
+            failed += 1
+            print(f"  error: {job.error}", file=out)
+            continue
+        result = service.result(job.job_id)
+        print(
+            f"  trials: {result.total_trials} total"
+            f" ({result.fresh_trials} fresh, {result.seeded_trials} from cache)",
+            file=out,
+        )
+        print(f"  final latency: {_fmt_latency(result.final_latency)}", file=out)
+        summary = service.best_schedule(
+            job.network,
+            device=job.device,
+            method=job.method,
+            batch=job.batch,
+            top_k_tasks=job.top_k_tasks,
+        )
+        print("  best schedules:", file=out)
+        for task_key, entry in sorted(summary["tasks"].items()):
+            print(
+                f"    {task_key}  x{entry['weight']}"
+                f"  {_fmt_latency(entry['latency'])}  {entry['config']}",
+                file=out,
+            )
+    print(f"\n{len(states)} job(s): {service.status()}", file=out)
+    return 1 if failed else 0
+
+
+def _cmd_status(args: argparse.Namespace, out) -> int:
+    from repro.service.jobs import JobQueue
+    from repro.service.server import LEDGER_NAME
+    from repro.service.store import RecordStore
+
+    store = RecordStore(args.cache_dir)
+    jobs = JobQueue.load_ledger(store.root / LEDGER_NAME)
+    print(f"cache dir: {store.root}", file=out)
+    print(f"jobs recorded: {len(jobs)}", file=out)
+    for job in jobs:
+        print(f"  {job.describe()}", file=out)
+    print("record store:", file=out)
+    stats = store.stats()
+    if not stats:
+        print("  (empty)", file=out)
+    for entry in stats:
+        print(
+            f"  {entry['workload']}@{entry['device']} ({entry['method']}):"
+            f" {entry['records']} records,"
+            f" best {_fmt_latency(entry['best_latency'])}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace, out) -> int:
+    from repro.service.server import TuningService
+
+    rows = TuningService(args.cache_dir).export()
+    payload = json.dumps(rows, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {len(rows)} records to {args.output}", file=out)
+    else:
+        print(payload, file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {"tune": _cmd_tune, "status": _cmd_status, "export": _cmd_export}
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except BrokenPipeError:
+        # stdout consumer (head, less) closed the pipe early; point the
+        # fd at devnull so the interpreter's shutdown flush doesn't hit
+        # the broken pipe again and taint the exit status
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0

@@ -1,0 +1,240 @@
+"""Tuning jobs and the priority job queue.
+
+A :class:`TuneJob` is one request to tune a network on a device with a
+method; the :class:`JobQueue` holds jobs in priority order and tracks
+their lifecycle (``pending -> running -> done | failed``), requeueing
+failed jobs until their retry budget is spent.  The queue is
+thread-safe: :class:`repro.service.workers.WorkerPool` workers claim
+jobs from it concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import threading
+import uuid
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from pathlib import Path
+
+
+# In-process guard for ledger read-merge-write cycles: the cross-process
+# file_lock is a no-op where fcntl is unavailable, so threads need this.
+_LEDGER_LOCK = threading.Lock()
+
+
+class JobState(str, Enum):
+    """Lifecycle of a tuning job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class TuneJob:
+    """One tuning request, plus its queue bookkeeping.
+
+    ``priority``: higher runs first (ties break FIFO).  ``max_retries``
+    is the number of *additional* attempts after a failure.  ``seed``
+    defaults to a value derived deterministically from the job spec, so
+    identical specs tune identically regardless of submission order.
+    """
+
+    network: str
+    device: str = "a100"
+    method: str = "pruner"
+    rounds: int = 8
+    scale: str = "smoke"
+    batch: int = 1
+    top_k_tasks: int | None = None
+    seed: int | None = None
+    priority: int = 0
+    max_retries: int = 1
+    # queue bookkeeping
+    job_id: str = ""
+    state: JobState = JobState.PENDING
+    attempts: int = 0
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed is None:
+            self.seed = self.derived_seed()
+
+    def derived_seed(self) -> int:
+        """Deterministic seed from the job spec (not submission order)."""
+        spec = "|".join(
+            str(v)
+            for v in (
+                self.network,
+                self.device,
+                self.method,
+                self.rounds,
+                self.scale,
+                self.batch,
+                self.top_k_tasks,
+            )
+        )
+        return int(hashlib.sha1(spec.encode()).hexdigest()[:8], 16)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["state"] = self.state.value
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "TuneJob":
+        data = dict(data)
+        data["state"] = JobState(data.get("state", "pending"))
+        return TuneJob(**data)
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_id or '<unsubmitted>'}  {self.network}@{self.device}"
+            f"  method={self.method} rounds={self.rounds} scale={self.scale}"
+            f"  seed={self.seed}  [{self.state.value}]"
+        )
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    sort_key: tuple[int, int]
+    job_id: str = field(compare=False)
+
+
+class JobQueue:
+    """Thread-safe priority queue of :class:`TuneJob`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._heap: list[_QueueEntry] = []
+        self._jobs: dict[str, TuneJob] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, job: TuneJob) -> str:
+        """Enqueue a job; assigns and returns its job id."""
+        with self._lock:
+            if not job.job_id:
+                # unique across processes so ledgers merge cleanly
+                job.job_id = f"job-{len(self._jobs) + 1:04d}-{uuid.uuid4().hex[:6]}"
+            if job.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            job.state = JobState.PENDING
+            self._jobs[job.job_id] = job
+            self._push(job)
+            return job.job_id
+
+    def _push(self, job: TuneJob) -> None:
+        # higher priority first, then FIFO on the submission sequence
+        self._seq += 1
+        heapq.heappush(self._heap, _QueueEntry((-job.priority, self._seq), job.job_id))
+
+    def claim(self) -> TuneJob | None:
+        """Pop the highest-priority pending job and mark it running."""
+        with self._lock:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                job = self._jobs.get(entry.job_id)
+                if job is None or job.state is not JobState.PENDING:
+                    continue  # stale heap entry (job was requeued/finished)
+                job.state = JobState.RUNNING
+                job.attempts += 1
+                return job
+            return None
+
+    def mark_done(self, job_id: str) -> None:
+        with self._lock:
+            self._jobs[job_id].state = JobState.DONE
+            self._jobs[job_id].error = None
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        """Record a failure; requeue while the retry budget lasts."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.error = error
+            if job.attempts <= job.max_retries:
+                job.state = JobState.PENDING
+                self._push(job)
+            else:
+                job.state = JobState.FAILED
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> TuneJob:
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> list[TuneJob]:
+        """All known jobs in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Number of jobs per state."""
+        out = {state.value: 0 for state in JobState}
+        for job in self.jobs():
+            out[job.state.value] += 1
+        return out
+
+    def pending(self) -> int:
+        return self.counts()["pending"]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    # ledger persistence (so `repro.service status` sees past runs)
+    # ------------------------------------------------------------------
+    def save_ledger(self, path: str | Path) -> None:
+        """Merge every job's current state into a JSON-lines ledger.
+
+        Existing entries are kept (earlier runs stay visible to
+        ``repro.service status``); entries for this queue's job ids are
+        replaced rather than duplicated, so repeated ``run()`` calls do
+        not inflate the ledger.
+        """
+        from repro.service.store import atomic_write_lines, file_lock, iter_jsonl
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # concurrent services share the ledger file
+        with _LEDGER_LOCK, file_lock(path):
+            # merge on raw parsed rows, not TuneJob round-trips: rows a
+            # newer version wrote (extra fields, different shapes) must
+            # survive the rewrite even though load_ledger skips them
+            preserved: list[str] = []
+            merged: dict[str, dict] = {}
+            for line, entry in iter_jsonl(path):
+                if entry is not None and isinstance(entry.get("job_id"), str):
+                    merged[entry["job_id"]] = entry
+                else:
+                    preserved.append(line)
+            for job in self.jobs():
+                merged[job.job_id] = job.to_dict()
+            atomic_write_lines(
+                path,
+                preserved + [json.dumps(entry) for entry in merged.values()],
+            )
+
+    @staticmethod
+    def load_ledger(path: str | Path) -> list[TuneJob]:
+        """Read a ledger back (most recent entries last).
+
+        Rows this version cannot interpret are skipped here but
+        preserved by :meth:`save_ledger`'s rewrite.
+        """
+        from repro.service.store import iter_jsonl
+
+        jobs = []
+        for _, entry in iter_jsonl(Path(path)):
+            if entry is None:
+                continue
+            try:
+                jobs.append(TuneJob.from_dict(entry))
+            except (TypeError, ValueError, KeyError):
+                continue
+        return jobs

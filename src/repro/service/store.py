@@ -1,0 +1,350 @@
+"""Persistent tuning-record store (JSON-lines on disk).
+
+Every measured trial a tuning run pays for is evidence worth keeping:
+re-running the same workload should start from what is already known
+(the record-reuse idea behind offline cost models such as TLP, and what
+PrediPrune exploits by caching verifier outcomes).  The store persists
+:class:`~repro.search.records.TuningRecord` rows keyed by
+``(workload key, device, method)``:
+
+* one JSON-lines file per store key, one row per trial,
+* rows carry a schema version (``v``) so future layouts can coexist,
+* appends deduplicate on ``(task key, config key)``,
+* programs are stored as their schedule config and re-lowered on load
+  (a lowered program is a pure function of ``(space, config)``).
+
+The store is the persistence layer under :class:`repro.service.server.
+TuningService`; :func:`repro.api.tune_subgraphs` uses it directly for
+its ``cache_dir=`` fast path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import math
+import re
+import threading
+from collections.abc import Iterable
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: fall back to in-process locking only
+    fcntl = None
+
+from repro.errors import LoweringError, ScheduleError
+from repro.search.records import RECORD_SCHEMA_VERSION, TuningRecord
+from repro.search.task import TuningTask
+from repro.schedule.space import ScheduleSpace
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize(text: str) -> str:
+    return _UNSAFE.sub("_", text).strip("_") or "x"
+
+
+def iter_jsonl(path: Path) -> Iterable[tuple[str, dict | None]]:
+    """``(raw line, parsed dict or None)`` per non-empty line of a file.
+
+    The single tolerant-JSONL reader: torn writes and non-dict rows
+    parse to ``None`` but are still yielded, so writers that rewrite a
+    file can preserve lines they cannot interpret.
+    """
+    if not path.exists():
+        return
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                yield line, None
+                continue
+            yield line, row if isinstance(row, dict) else None
+
+
+def atomic_write_lines(path: Path, lines: Iterable[str]) -> None:
+    """Write lines via a temp file + rename so lock-free readers never
+    see a torn file and a crash mid-write loses nothing."""
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    tmp.replace(path)
+
+
+@contextlib.contextmanager
+def file_lock(path: Path):
+    """Advisory cross-process lock on a sidecar ``<path>.lock`` file.
+
+    Serializes read-merge-write cycles on files shared between
+    processes (record files, the job ledger).  No-op where ``fcntl``
+    is unavailable; in-process threads still need their own lock.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with lock_path.open("w") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """Identity of one record file: (workload key, device, method)."""
+
+    workload: str
+    device: str
+    method: str
+
+    @property
+    def filename(self) -> str:
+        """Stable, filesystem-safe file name for this key.
+
+        A digest suffix keeps distinct keys distinct even when
+        sanitization collapses their readable parts.
+        """
+        raw = "\x1f".join((self.workload, self.device, self.method))
+        digest = hashlib.sha1(raw.encode()).hexdigest()[:10]
+        readable = "__".join(
+            _sanitize(part)[:32] for part in (self.workload, self.device, self.method)
+        )
+        return f"{readable}__{digest}.jsonl"
+
+
+def workload_fingerprint(tasks: Iterable[TuningTask]) -> str:
+    """Order-independent identity of a set of weighted tuning tasks.
+
+    Includes each task's schedule-space identity (tensorcore sketch,
+    splitK menu): the same workload lowered through different sketches
+    yields different programs, so records must not cross-seed between
+    e.g. a CUDA-core and a TensorCore run of the same matmul.
+    """
+    parts = sorted(
+        f"{t.workload.key}*{t.weight}"
+        f"*tc{int(t.space.tensorcore)}*sk{t.space.splitk_options}"
+        for t in tasks
+    )
+    return hashlib.sha1("|".join(parts).encode()).hexdigest()[:16]
+
+
+def store_key_for_tasks(tasks: list[TuningTask], method: str) -> StoreKey:
+    """The store key a tuning run over ``tasks`` reads and writes."""
+    if not tasks:
+        raise ValueError("store_key_for_tasks needs at least one task")
+    return StoreKey(
+        workload=workload_fingerprint(tasks),
+        device=tasks[0].device.name,
+        method=method,
+    )
+
+
+class RecordStore:
+    """Append-only JSON-lines store of tuning records, one file per key.
+
+    Thread-safe for use by a multi-worker service: appends and index
+    updates are serialized on a per-store lock.  Rows whose schema
+    version is newer than this code, or whose config no longer lowers
+    against the current sketch, are skipped on load rather than raised.
+    """
+
+    INDEX_NAME = "index.json"
+
+    # One lock per store root, shared by every RecordStore instance in
+    # the process: concurrent workers each build their own store over
+    # the same cache dir (api.tune_subgraphs does), and per-instance
+    # locks would not serialize their file and index writes.
+    _LOCKS: dict[Path, threading.Lock] = {}
+    _LOCKS_GUARD = threading.Lock()
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        with RecordStore._LOCKS_GUARD:
+            self._lock = RecordStore._LOCKS.setdefault(
+                self.root.resolve(), threading.Lock()
+            )
+
+    # ------------------------------------------------------------------
+    # paths and index
+    # ------------------------------------------------------------------
+    def path_for(self, key: StoreKey) -> Path:
+        return self.root / key.filename
+
+    def _index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def _read_index(self) -> dict[str, dict]:
+        path = self._index_path()
+        if not path.exists():
+            return {}
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _register(self, key: StoreKey) -> None:
+        with file_lock(self._index_path()):
+            index = self._read_index()
+            if key.filename not in index:
+                index[key.filename] = asdict(key)
+                atomic_write_lines(
+                    self._index_path(),
+                    [json.dumps(index, indent=2, sort_keys=True)],
+                )
+
+    def keys(self) -> list[StoreKey]:
+        """All store keys ever written to this root."""
+        return sorted(
+            (StoreKey(**entry) for entry in self._read_index().values()),
+            key=lambda k: k.filename,
+        )
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, key: StoreKey, records: Iterable[TuningRecord]) -> int:
+        """Persist records, deduplicating against what the file holds.
+
+        Returns the number of rows actually written.
+        """
+        records = list(records)
+        if not records:
+            return 0  # fully-warm runs: skip the dedup scan entirely
+        # create the root lazily, on first write: read-only commands
+        # (status/export over a mistyped --cache-dir) must not mkdir
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._lock, file_lock(self.path_for(key)):
+            path = self.path_for(key)
+            # dedup against every parseable row, whatever its schema
+            # version — a newer-versioned row still owns its identity
+            seen = {
+                (row.get("task_key"), row.get("config_key"))
+                for row in self._iter_parsed(path)
+            }
+            written = 0
+            with path.open("a", encoding="utf-8") as fh:
+                for record in records:
+                    ident = (record.task_key, record.prog.config.key)
+                    if ident in seen:
+                        continue
+                    seen.add(ident)
+                    fh.write(json.dumps(record.to_dict()) + "\n")
+                    written += 1
+            self._register(key)
+            return written
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _iter_parsed(path: Path) -> Iterable[dict]:
+        """Every parseable dict row, regardless of schema version."""
+        for _, row in iter_jsonl(path):
+            if row is not None:
+                yield row
+
+    @classmethod
+    def _iter_rows(cls, path: Path) -> Iterable[dict]:
+        for row in cls._iter_parsed(path):
+            try:
+                version = int(row.get("v", 0))
+            except (TypeError, ValueError):
+                continue  # unparseable version; skip, keep the file
+            if version > RECORD_SCHEMA_VERSION:
+                continue  # written by a newer schema; ignore
+            yield row
+
+    def load_rows(self, key: StoreKey) -> list[dict]:
+        """Raw (already schema-filtered) rows of one store key."""
+        return list(self._iter_rows(self.path_for(key)))
+
+    def load_records(
+        self, key: StoreKey, spaces: dict[str, ScheduleSpace]
+    ) -> list[TuningRecord]:
+        """Reconstruct records by re-lowering configs against ``spaces``.
+
+        ``spaces`` maps task key -> schedule space.  Rows for unknown
+        tasks or with configs outside the current space are skipped.
+        """
+        out: list[TuningRecord] = []
+        for row in self.load_rows(key):
+            space = spaces.get(row.get("task_key"))
+            if space is None:
+                continue
+            try:
+                out.append(TuningRecord.from_dict(row, space))
+            except (ScheduleError, LoweringError, KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    def rows_by_task(self, key: StoreKey) -> dict[str, list[dict]]:
+        """Valid (finite-latency) rows grouped per task, best first.
+
+        One pass over the file; the single place that decides which
+        rows count as query candidates (best_rows and the service's
+        best_schedule both build on it).
+        """
+        grouped: dict[str, list[dict]] = {}
+        for row in self.load_rows(key):
+            task_key = row.get("task_key")
+            try:
+                latency = float(row["latency"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not math.isfinite(latency) or not isinstance(task_key, str):
+                continue
+            grouped.setdefault(task_key, []).append(row)
+        for rows in grouped.values():
+            rows.sort(key=lambda r: float(r["latency"]))
+        return grouped
+
+    def best_rows(self, key: StoreKey) -> dict[str, dict]:
+        """Lowest-latency valid row per task."""
+        return {
+            task_key: rows[0] for task_key, rows in self.rows_by_task(key).items()
+        }
+
+    def best_row(self, key: StoreKey, task_key: str | None = None) -> dict | None:
+        """Lowest-latency valid row of a key (optionally one task only)."""
+        per_task = self.best_rows(key)
+        if task_key is not None:
+            return per_task.get(task_key)
+        return min(
+            per_task.values(), key=lambda row: float(row["latency"]), default=None
+        )
+
+    def count(self, key: StoreKey) -> int:
+        """Number of persisted rows for one key."""
+        return len(self.load_rows(key))
+
+    def stats(self) -> list[dict]:
+        """Per-key summary (for ``repro.service status`` / ``export``)."""
+        out = []
+        for key in self.keys():
+            rows = self.load_rows(key)
+            finite = [
+                float(r["latency"])
+                for r in rows
+                if isinstance(r.get("latency"), (int, float))
+                and math.isfinite(float(r["latency"]))
+            ]
+            out.append(
+                {
+                    "workload": key.workload,
+                    "device": key.device,
+                    "method": key.method,
+                    "records": len(rows),
+                    "best_latency": min(finite) if finite else None,
+                }
+            )
+        return out

@@ -1,0 +1,65 @@
+"""Worker pool: shard queued tuning jobs across N concurrent workers.
+
+Workers are threads (``concurrent.futures.ThreadPoolExecutor``): every
+job builds its own tuner, clock and RNGs from the job's deterministic
+seed, so jobs with distinct record-store keys are independent and their
+results do not depend on which worker runs them or in what order — a
+4-worker run reproduces the single-process result job for job
+(MITuna-style parallelism without giving up reproducibility).  Jobs
+sharing a store key do interact through the cache (a later job
+warm-starts from an earlier job's persisted records), so their results
+depend on completion order regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.jobs import JobQueue, TuneJob
+
+
+class WorkerPool:
+    """Drains a :class:`JobQueue` with ``workers`` concurrent workers."""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run(
+        self,
+        queue: JobQueue,
+        runner: Callable[[TuneJob], object],
+    ) -> dict[str, object]:
+        """Run queued jobs to completion; returns job id -> runner result.
+
+        A job whose runner raises is marked failed and requeued until
+        its retry budget is spent (the requeueing worker claims again,
+        so a retried job is never stranded).
+        """
+        results: dict[str, object] = {}
+        lock = threading.Lock()
+
+        def worker_loop() -> None:
+            while True:
+                job = queue.claim()
+                if job is None:
+                    return
+                try:
+                    out = runner(job)
+                except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+                    queue.mark_failed(job.job_id, f"{type(exc).__name__}: {exc}")
+                else:
+                    with lock:
+                        results[job.job_id] = out
+                    queue.mark_done(job.job_id)
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="tune-worker"
+        ) as pool:
+            futures = [pool.submit(worker_loop) for _ in range(self.workers)]
+            for future in futures:
+                future.result()  # surface unexpected worker crashes
+        return results

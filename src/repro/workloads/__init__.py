@@ -10,6 +10,7 @@ from repro.workloads.registry import (
     build_network,
     list_networks,
     network_tasks,
+    resolve_network,
 )
 from repro.workloads.networks import llama_decode_tasks, single_op_suite
 
@@ -17,6 +18,7 @@ __all__ = [
     "build_network",
     "list_networks",
     "network_tasks",
+    "resolve_network",
     "llama_decode_tasks",
     "single_op_suite",
 ]

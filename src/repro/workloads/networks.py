@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.ir import ops
 from repro.ir.dag import Graph, GraphBuilder
-from repro.ir.partition import SubgraphTask, dedupe_tasks, partition_graph
+from repro.ir.partition import SubgraphTask, dedupe_tasks
 
 
 # ----------------------------------------------------------------------

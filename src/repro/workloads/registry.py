@@ -63,6 +63,13 @@ def list_networks() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def resolve_network(name: str) -> str:
+    """Canonical name of a network (aliases resolved); raises
+    WorkloadError for unknown names — a cheap validity check for
+    callers that want to fail fast without building the graph."""
+    return _resolve(name)
+
+
 def build_network(name: str, batch: int = 1, **kwargs: object) -> Graph:
     """Build the operator graph for a network."""
     return _REGISTRY[_resolve(name)](batch=batch, **kwargs)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 from scipy.stats import spearmanr
 
 from repro.config import SearchConfig

@@ -5,8 +5,6 @@ from __future__ import annotations
 import math
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import DeviceError
 from repro.hardware.device import DeviceSpec, get_device, list_devices

@@ -5,7 +5,6 @@ The matmul checks mirror the paper's Figure 3 worked example.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings

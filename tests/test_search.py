@@ -11,7 +11,6 @@ from repro.config import SearchConfig, TrainConfig
 from repro.core.analyzer import is_launchable
 from repro.costmodel import GBDTModel, PaCM
 from repro.costmodel.base import RandomModel
-from repro.hardware.device import get_device
 from repro.hardware.measure import MeasureRunner
 from repro.ir import ops
 from repro.ir.partition import SubgraphTask

@@ -1,0 +1,391 @@
+"""Tests for repro.service: record store, job queue, workers, service."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro import api
+from repro.errors import SearchError
+from repro.ir import ops
+from repro.ir.partition import SubgraphTask
+from repro.schedule import lower, random_config
+from repro.search import RecordLog, TuningRecord, make_tasks
+from repro.service import (
+    JobQueue,
+    JobState,
+    RecordStore,
+    StoreKey,
+    TuneJob,
+    TuningService,
+    WorkerPool,
+    store_key_for_tasks,
+)
+from repro.service.cli import main as cli_main
+
+
+@pytest.fixture
+def matmul_task(a100):
+    (task,) = make_tasks([SubgraphTask(ops.matmul(128, 128, 128), 2)], a100)
+    return task
+
+
+def _records(task, rng, latencies, start_round=0):
+    out = []
+    for i, latency in enumerate(latencies):
+        prog = lower(task.space, random_config(task.space, rng))
+        out.append(
+            TuningRecord(task.key, prog, latency, float(i), start_round + i)
+        )
+    return out
+
+
+class TestRecordSerialization:
+    def test_dict_round_trip_exact(self, matmul_task, rng):
+        (rec,) = _records(matmul_task, rng, [1.2345678901234567e-4])
+        back = TuningRecord.from_dict(rec.to_dict(), matmul_task.space)
+        assert back == rec  # frozen dataclasses: exact field equality
+
+    def test_inf_latency_round_trips(self, matmul_task, rng):
+        (rec,) = _records(matmul_task, rng, [math.inf])
+        data = json.loads(json.dumps(rec.to_dict()))  # through real JSON
+        back = TuningRecord.from_dict(data, matmul_task.space)
+        assert math.isinf(back.latency)
+        assert back == rec
+
+    def test_store_round_trip_preserves_bests_and_dedup(
+        self, matmul_task, rng, tmp_path
+    ):
+        latencies = [3e-3, 1e-3, math.inf, 2e-3]
+        records = _records(matmul_task, rng, latencies)
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        assert store.append(key, records) == len(records)
+        # appending the same records again writes nothing
+        assert store.append(key, records) == 0
+        assert store.count(key) == len(records)
+
+        loaded = store.load_records(key, {matmul_task.key: matmul_task.space})
+        assert sorted(r.latency for r in loaded) == sorted(latencies)
+
+        log = RecordLog()
+        log.extend(loaded)
+        assert log.best_latency(matmul_task.key) == 1e-3
+        for rec in records:
+            assert log.already_measured(matmul_task.key, rec.prog.config.key)
+
+    def test_unknown_task_and_newer_schema_rows_skipped(
+        self, matmul_task, rng, tmp_path
+    ):
+        records = _records(matmul_task, rng, [1e-3])
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.append(key, records)
+        with store.path_for(key).open("a") as fh:
+            future = records[0].to_dict()
+            future["v"] = 999
+            fh.write(json.dumps(future) + "\n")
+            fh.write("not json at all\n")
+        loaded = store.load_records(key, {matmul_task.key: matmul_task.space})
+        assert len(loaded) == 1
+        assert store.load_records(key, {}) == []
+
+    def test_best_row_ignores_invalid(self, matmul_task, rng, tmp_path):
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.append(key, _records(matmul_task, rng, [math.inf, 5e-3, 2e-3]))
+        row = store.best_row(key, matmul_task.key)
+        assert row is not None and float(row["latency"]) == 2e-3
+
+    def test_store_keys_index(self, matmul_task, rng, tmp_path):
+        store = RecordStore(tmp_path)
+        for method in ("pruner", "ansor"):
+            key = store_key_for_tasks([matmul_task], method)
+            store.append(key, _records(matmul_task, rng, [1e-3]))
+        assert {k.method for k in store.keys()} == {"pruner", "ansor"}
+        stats = RecordStore(tmp_path).stats()  # fresh instance, from disk
+        assert len(stats) == 2
+        assert all(entry["records"] == 1 for entry in stats)
+
+
+class TestRecordLogExtend:
+    def test_extend_accepts_any_iterable(self, matmul_task, rng):
+        records = _records(matmul_task, rng, [2e-3, 1e-3])
+        log = RecordLog()
+        log.extend(iter(records))  # a generator, not a list
+        assert len(log) == 2
+        assert log.best_latency(matmul_task.key) == 1e-3
+
+    def test_seed_from_dedups(self, matmul_task, rng):
+        records = _records(matmul_task, rng, [2e-3, 1e-3])
+        log = RecordLog()
+        assert log.seed_from(records) == 2
+        assert log.seed_from(records) == 0
+        assert len(log) == 2
+
+
+class TestScaleValidation:
+    def test_tune_subgraphs_unknown_scale(self):
+        subs = [SubgraphTask(ops.matmul(64, 64, 64), 1)]
+        with pytest.raises(SearchError, match="smoke"):
+            api.tune_subgraphs("pruner", subs, "a100", scale="bogus")
+
+    def test_tune_network_unknown_scale(self):
+        with pytest.raises(SearchError, match="valid scales"):
+            api.tune_network("bert_tiny", scale="nope")
+
+    def test_unknown_method_rejected(self, tmp_path):
+        subs = [SubgraphTask(ops.matmul(64, 64, 64), 1)]
+        with pytest.raises(SearchError, match="valid methods"):
+            api.tune_subgraphs("ansr", subs, "a100", scale="smoke")
+        with pytest.raises(SearchError, match="valid methods"):
+            TuningService(tmp_path).submit("bert_tiny", method="ansr")
+
+    def test_pretrained_methods_rejected_at_submit(self, tmp_path):
+        """Jobs cannot carry pretrained params, so offline/finetune/MoA
+        methods must fail at submit, not inside every worker attempt."""
+        with pytest.raises(SearchError, match="pretrained"):
+            TuningService(tmp_path).submit("bert_tiny", method="tlp")
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        queue.submit(TuneJob("bert_tiny", priority=0))
+        high = queue.submit(TuneJob("gpt2", priority=5))
+        queue.submit(TuneJob("llama", priority=0))
+        assert queue.claim().job_id == high
+        assert queue.claim().network == "bert_tiny"  # FIFO among equal priority
+        assert queue.claim().network == "llama"
+        assert queue.claim() is None
+
+    def test_retry_then_fail(self):
+        queue = JobQueue()
+        job_id = queue.submit(TuneJob("bert_tiny", max_retries=1))
+        job = queue.claim()
+        queue.mark_failed(job_id, "boom")
+        assert queue.get(job_id).state is JobState.PENDING  # retry budget left
+        job = queue.claim()
+        assert job.attempts == 2
+        queue.mark_failed(job_id, "boom again")
+        assert queue.get(job_id).state is JobState.FAILED
+        assert queue.claim() is None
+        assert queue.get(job_id).error == "boom again"
+
+    def test_deterministic_seed_from_spec(self):
+        a = TuneJob("bert_tiny", device="t4", rounds=4)
+        b = TuneJob("bert_tiny", device="t4", rounds=4)
+        c = TuneJob("bert_tiny", device="a100", rounds=4)
+        assert a.seed == b.seed
+        assert a.seed != c.seed
+
+    def test_ledger_round_trip(self, tmp_path):
+        queue = JobQueue()
+        queue.submit(TuneJob("bert_tiny", rounds=3))
+        queue.mark_done(queue.claim().job_id)
+        queue.save_ledger(tmp_path / "jobs.jsonl")
+        (job,) = JobQueue.load_ledger(tmp_path / "jobs.jsonl")
+        assert job.network == "bert_tiny"
+        assert job.state is JobState.DONE
+
+
+class TestWorkerPool:
+    def test_retries_run_through_pool(self):
+        queue = JobQueue()
+        queue.submit(TuneJob("bert_tiny", max_retries=2))
+        calls = []
+
+        def flaky(job):
+            calls.append(job.attempts)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        results = WorkerPool(2).run(queue, flaky)
+        assert list(results.values()) == ["ok"]
+        assert len(calls) == 3
+        assert queue.counts()["done"] == 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestWarmStart:
+    def test_second_submit_reuses_records(self, tmp_path):
+        """Acceptance: same workload twice through the service, shared
+        cache — run 2 loads run 1's records, is no worse, measures less."""
+        spec = dict(device="a100", rounds=3, scale="smoke", top_k_tasks=1)
+        first_service = TuningService(tmp_path, workers=1)
+        first_id = first_service.submit("bert_tiny", **spec)
+        first_service.run()
+        first = first_service.result(first_id)
+        assert first.fresh_trials > 0
+        assert first.seeded_trials == 0
+
+        second_service = TuningService(tmp_path, workers=1)
+        second_id = second_service.submit("bert_tiny", **spec)
+        second_service.run()
+        second = second_service.result(second_id)
+        assert second.seeded_trials > 0  # loaded run 1's records
+        assert second.fresh_trials < first.fresh_trials
+        assert second.final_latency <= first.final_latency
+        for key, best in first.best.items():
+            assert second.best[key] <= best
+
+
+class TestMultiWorker:
+    def test_four_workers_match_single_process(self, tmp_path):
+        """Acceptance: a 4-worker run completes >= 4 jobs and each job's
+        best latencies match api.tune_network for the same seed."""
+        specs = [
+            ("bert_tiny", "a100"),
+            ("bert_tiny", "t4"),
+            ("gpt2", "a100"),
+            ("gpt2", "t4"),
+        ]
+        service = TuningService(tmp_path / "svc", workers=4)
+        ids = {
+            service.submit(
+                network, device=device, rounds=2, scale="smoke", top_k_tasks=1
+            ): (network, device)
+            for network, device in specs
+        }
+        states = service.run()
+        assert all(state == "done" for state in states.values())
+
+        for job_id, (network, device) in ids.items():
+            job = service.queue.get(job_id)
+            reference = api.tune_network(
+                network,
+                device=device,
+                rounds=2,
+                scale="smoke",
+                top_k_tasks=1,
+                seed=job.seed,
+            )
+            assert service.result(job_id).best == reference.best
+
+
+class TestServiceFacade:
+    def test_status_result_and_best_schedule(self, tmp_path):
+        service = TuningService(tmp_path, workers=2)
+        job_id = service.submit(
+            "bert_tiny", rounds=2, scale="smoke", top_k_tasks=1
+        )
+        assert service.status(job_id)["state"] == "pending"
+        with pytest.raises(SearchError):
+            service.result(job_id)
+        service.run()
+        assert service.status(job_id)["state"] == "done"
+        assert service.status() == {
+            "pending": 0,
+            "running": 0,
+            "done": 1,
+            "failed": 0,
+        }
+
+        summary = service.best_schedule("bert_tiny", top_k_tasks=1)
+        assert summary["complete"]
+        assert len(summary["tasks"]) == 1
+        assert math.isfinite(summary["tuned_latency"])
+        # not-yet-tuned workload: incomplete, inf
+        missing = service.best_schedule("bert_tiny", device="t4", top_k_tasks=1)
+        assert not missing["complete"]
+        assert math.isinf(missing["tuned_latency"])
+
+        rows = service.export()
+        assert rows and all(row["store"]["method"] == "pruner" for row in rows)
+
+    def test_submit_rejects_unknown_scale(self, tmp_path):
+        service = TuningService(tmp_path)
+        with pytest.raises(SearchError):
+            service.submit("bert_tiny", scale="bogus")
+
+    def test_unknown_network_rejected_at_submit(self, tmp_path):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError, match="no_such_network"):
+            TuningService(tmp_path).submit("no_such_network")
+
+    def test_failed_job_reported(self, tmp_path, monkeypatch):
+        service = TuningService(tmp_path, workers=1)
+        job_id = service.submit("bert_tiny", rounds=1, max_retries=0)
+
+        def explode(job):
+            raise RuntimeError("device on fire")
+
+        monkeypatch.setattr(service, "_run_job", explode)
+        states = service.run()
+        assert states[job_id] == "failed"
+        assert "device on fire" in service.queue.get(job_id).error
+        with pytest.raises(SearchError, match="failed"):
+            service.result(job_id)
+
+
+class TestCli:
+    def test_tune_status_export(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        out = io.StringIO()
+        code = cli_main(
+            [
+                "tune",
+                "--network",
+                "bert_tiny",
+                "--rounds",
+                "2",
+                "--top-k-tasks",
+                "1",
+                "--cache-dir",
+                cache,
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "best schedules:" in text
+        assert "fresh" in text
+
+        out = io.StringIO()
+        assert cli_main(["status", "--cache-dir", cache], out=out) == 0
+        assert "jobs recorded: 1" in out.getvalue()
+
+        out = io.StringIO()
+        export_path = tmp_path / "dump.json"
+        code = cli_main(
+            ["export", "--cache-dir", cache, "--output", str(export_path)], out=out
+        )
+        assert code == 0
+        rows = json.loads(export_path.read_text())
+        assert rows and all("config_key" in row for row in rows)
+
+
+class TestStoreKey:
+    def test_fingerprint_order_independent(self, a100):
+        subs = [
+            SubgraphTask(ops.matmul(128, 128, 128), 2),
+            SubgraphTask(ops.matmul(256, 256, 256), 1),
+        ]
+        tasks = make_tasks(subs, a100)
+        forward = store_key_for_tasks(tasks, "pruner")
+        reverse = store_key_for_tasks(list(reversed(tasks)), "pruner")
+        assert forward == reverse
+
+    def test_tensorcore_space_gets_its_own_key(self, a100):
+        """Records from a CUDA-core run must not warm-start a TensorCore
+        run of the same workload (configs lower to different programs)."""
+        subs = [SubgraphTask(ops.matmul(128, 768, 768, dtype="float16"), 1)]
+        plain = make_tasks(subs, a100)
+        tc = make_tasks(subs, a100, tensorcore=True)
+        assert store_key_for_tasks(plain, "pruner") != store_key_for_tasks(
+            tc, "pruner"
+        )
+
+    def test_filename_safe_and_distinct(self):
+        weird = StoreKey("mat/mul weird:key", "a100", "pruner")
+        other = StoreKey("mat mul/weird:key", "a100", "pruner")
+        assert "/" not in weird.filename and " " not in weird.filename
+        assert weird.filename != other.filename
