@@ -1,0 +1,346 @@
+"""End-to-end candidate-pipeline throughput: batched vs pre-refactor scalar.
+
+Measures candidates/second through the two stages of Pruner's
+draft-then-verify pipeline:
+
+* **draft** — a full Latent-Schedule-Explorer run (GA generations of
+  lowering + Symbol-based-Analyzer scoring), batched
+  (:mod:`repro.schedule.batch`) vs the pre-refactor scalar
+  implementation (vendored below, one Python object per candidate);
+* **verify** — learned-model scoring of a drafted set
+  (``lower_batch`` + ``predict_batch`` vs per-program feature
+  extraction + prediction).
+
+Usage::
+
+    python benchmarks/bench_throughput.py           # paper-ish scale
+    python benchmarks/bench_throughput.py --quick   # CI smoke scale
+    python benchmarks/bench_throughput.py --quick --check
+    python benchmarks/bench_throughput.py --quick --update-floor
+
+``--check`` compares against the floor checked into
+``benchmarks/results/throughput_floor.json`` and exits non-zero when
+the batched draft stage regresses below it (CI smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cache import clear_caches  # noqa: E402
+from repro.config import SearchConfig  # noqa: E402
+from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable  # noqa: E402
+from repro.core.lse import LatentScheduleExplorer  # noqa: E402
+from repro.costmodel import PaCM  # noqa: E402
+from repro.hardware.device import get_device  # noqa: E402
+from repro.ir.ops import matmul  # noqa: E402
+from repro.rng import make_rng  # noqa: E402
+from repro.schedule.batch import lower_batch  # noqa: E402
+from repro.schedule.lower import lower  # noqa: E402
+from repro.schedule.sampler import random_population  # noqa: E402
+from repro.schedule.space import ScheduleConfig, divisors  # noqa: E402
+from repro.search.task import TuningTask  # noqa: E402
+
+FLOOR_PATH = Path(__file__).resolve().parent / "results" / "throughput_floor.json"
+
+
+# ----------------------------------------------------------------------
+# Pre-refactor scalar reference (vendored from the seed implementation).
+# One Python call chain per candidate: sample -> mutate/crossover ->
+# lower -> score, with per-config dict bookkeeping — the code path the
+# batched pipeline replaced.
+# ----------------------------------------------------------------------
+def _scalar_sample_factorization(rng, extent, parts):
+    factors = []
+    remaining = extent
+    for _ in range(parts - 1):
+        d = int(rng.choice(divisors(remaining)))
+        factors.append(d)
+        remaining //= d
+    factors.append(remaining)
+    return tuple(factors)
+
+
+def _scalar_random_config(space, rng):
+    tile_map = {
+        s.axis: _scalar_sample_factorization(rng, s.extent, s.parts)
+        for s in space.splits
+    }
+    config = ScheduleConfig.from_map(
+        tile_map,
+        unroll=int(rng.choice(space.unroll_options)),
+        vector=int(rng.choice(space.vector_options)),
+        splitk=int(rng.choice(space.splitk_options)),
+    )
+    space.validate(config)
+    return config
+
+
+def _scalar_random_population(space, rng, size):
+    seen = {}
+    attempts = 0
+    while len(seen) < size and attempts < size * 10:
+        cfg = _scalar_random_config(space, rng)
+        seen.setdefault(cfg.key, cfg)
+        attempts += 1
+    return list(seen.values())
+
+
+def _scalar_swap_two(rng, factors):
+    if len(factors) < 2:
+        return factors
+    i, j = rng.choice(len(factors), size=2, replace=False)
+    out = list(factors)
+    out[i], out[j] = out[j], out[i]
+    return tuple(out)
+
+
+def _scalar_move_factor(rng, factors):
+    donors = [i for i, f in enumerate(factors) if f > 1]
+    if not donors:
+        return factors
+    i = int(rng.choice(donors))
+    j = int(rng.choice([p for p in range(len(factors)) if p != i]))
+    f = factors[i]
+    p = 2
+    while f % p != 0:
+        p += 1
+    out = list(factors)
+    out[i] //= p
+    out[j] *= p
+    return tuple(out)
+
+
+def _scalar_mutate(config, space, rng):
+    kind = rng.random()
+    splits = space.splits
+    if kind < 0.45:  # resample one axis
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(
+            s.axis, _scalar_sample_factorization(rng, s.extent, s.parts)
+        )
+    elif kind < 0.65:  # swap factors
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(s.axis, _scalar_swap_two(rng, config.factors(s.axis)))
+    elif kind < 0.85:  # move a prime between levels
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(
+            s.axis, _scalar_move_factor(rng, config.factors(s.axis))
+        )
+    else:  # annotation flip
+        choice = rng.random()
+        if choice < 0.5:
+            mutated = config.with_annotations(unroll=int(rng.choice(space.unroll_options)))
+        elif choice < 0.8:
+            mutated = config.with_annotations(vector=int(rng.choice(space.vector_options)))
+        else:
+            mutated = config.with_annotations(splitk=int(rng.choice(space.splitk_options)))
+    try:
+        space.validate(mutated)
+    except Exception:
+        s = splits[int(rng.integers(len(splits)))]
+        mutated = config.with_tile(
+            s.axis, _scalar_sample_factorization(rng, s.extent, s.parts)
+        )
+        space.validate(mutated)
+    return mutated
+
+
+def _scalar_crossover(a, b, space, rng):
+    tile_map = {}
+    for s in space.splits:
+        parent = a if rng.random() < 0.5 else b
+        tile_map[s.axis] = parent.factors(s.axis)
+    child = ScheduleConfig.from_map(
+        tile_map,
+        unroll=(a if rng.random() < 0.5 else b).unroll,
+        vector=(a if rng.random() < 0.5 else b).vector,
+        splitk=(a if rng.random() < 0.5 else b).splitk,
+    )
+    space.validate(child)
+    return child
+
+
+def scalar_explore(space, analyzer, cfg: SearchConfig, rng):
+    """The seed's LSE loop: everything one candidate at a time."""
+    population = _scalar_random_population(space, rng, cfg.population)
+    spec: dict[str, tuple[float, ScheduleConfig]] = {}
+    n_evals = 0
+
+    def evaluate(pop):
+        return [analyzer.score(lower(space, c)) for c in pop]
+
+    def prior_filter(scores, pop):
+        for c, s in zip(pop, scores):
+            if s == float("-inf"):
+                continue
+            if c.key not in spec or spec[c.key][0] < s:
+                spec[c.key] = (s, c)
+        if len(spec) > cfg.spec_size:
+            keep = sorted(spec.items(), key=lambda kv: kv[1][0], reverse=True)
+            for key, _ in keep[cfg.spec_size :]:
+                del spec[key]
+
+    for _ in range(cfg.ga_steps):
+        scores = evaluate(population)
+        n_evals += len(population)
+        prior_filter(scores, population)
+        order = np.argsort(scores)[::-1]
+        elite = [population[i] for i in order[: max(2, len(population) // 8)]]
+        ranks = np.empty(len(population))
+        ranks[order] = np.arange(len(population))
+        weights = np.exp(-ranks / max(1.0, len(population) / 4.0))
+        weights /= weights.sum()
+        children = list(elite)
+        while len(children) < len(population):
+            i, j = rng.choice(len(population), size=2, p=weights)
+            child = _scalar_crossover(population[int(i)], population[int(j)], space, rng)
+            if rng.random() < cfg.mutation_prob:
+                child = _scalar_mutate(child, space, rng)
+            children.append(child)
+        population = children
+    scores = evaluate(population)
+    n_evals += len(population)
+    prior_filter(scores, population)
+    return n_evals
+
+
+# ----------------------------------------------------------------------
+def _time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        clear_caches()
+        t0 = time.perf_counter()
+        n = fn()
+        best = min(best, (time.perf_counter() - t0) / max(1, n))
+    return 1.0 / best  # candidates per second
+
+
+def run(quick: bool) -> dict:
+    cfg = (
+        SearchConfig(population=128, ga_steps=3, spec_size=128)
+        if quick
+        else SearchConfig(population=512, ga_steps=4, spec_size=512)
+    )
+    repeats = 2 if quick else 3
+    task = TuningTask.create(matmul(512, 512, 512), get_device("a100"))
+    analyzer = SymbolBasedAnalyzer(task.device)
+    explorer = LatentScheduleExplorer(analyzer, cfg)
+
+    # --- draft stage ---
+    def batched_draft():
+        return explorer.explore(task.space, make_rng(0)).n_evals
+
+    def scalar_draft():
+        return scalar_explore(task.space, analyzer, cfg, make_rng(0))
+
+    batched_draft()  # warm code paths before timing
+    draft_batched = _time(batched_draft, repeats)
+    draft_scalar = _time(scalar_draft, repeats)
+
+    # --- verify stage ---
+    model = PaCM()
+    verify_configs = random_population(task.space, make_rng(1), cfg.spec_size)
+    progs = [lower(task.space, c) for c in verify_configs[:32]]
+    model.fit(
+        progs,
+        1e-3 * (1.0 + make_rng(2).random(len(progs))),
+        [task.key] * len(progs),
+        rng=make_rng(3),
+    )
+
+    def batched_verify():
+        from repro.core.analyzer import is_launchable_mask
+
+        lowered = lower_batch(task.space, verify_configs)
+        kept = lowered.take(is_launchable_mask(lowered, task.device))
+        model.predict_batch(kept)
+        return len(kept)
+
+    def scalar_verify():
+        kept = [
+            p
+            for p in (lower(task.space, c) for c in verify_configs)
+            if is_launchable(p, task.device)
+        ]
+        model.predict(kept)
+        return len(kept)
+
+    batched_verify()  # warm
+    verify_batched = _time(batched_verify, repeats)
+    verify_scalar = _time(scalar_verify, repeats)
+
+    return {
+        "quick": quick,
+        "draft": {
+            "batched_cps": round(draft_batched),
+            "scalar_cps": round(draft_scalar),
+            "speedup": round(draft_batched / draft_scalar, 2),
+        },
+        "verify": {
+            "batched_cps": round(verify_batched),
+            "scalar_cps": round(verify_scalar),
+            "speedup": round(verify_batched / verify_scalar, 2),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument(
+        "--check", action="store_true", help="fail if below the stored floor"
+    )
+    parser.add_argument(
+        "--update-floor", action="store_true", help="rewrite the floor file"
+    )
+    args = parser.parse_args(argv)
+
+    results = run(quick=args.quick)
+    print(json.dumps(results, indent=2))
+
+    if args.update_floor:
+        # Regression floor, deliberately below the measured numbers so
+        # machine variance doesn't false-alarm.  Only the speedup
+        # *ratios* are enforced (machine-independent); the absolute
+        # rates are recorded for context.
+        floor = {
+            "draft_speedup_min": round(results["draft"]["speedup"] / 2, 2),
+            "verify_speedup_min": round(results["verify"]["speedup"] / 2, 2),
+            "measured_draft_cps": results["draft"]["batched_cps"],
+            "measured_verify_cps": results["verify"]["batched_cps"],
+        }
+        FLOOR_PATH.parent.mkdir(parents=True, exist_ok=True)
+        FLOOR_PATH.write_text(json.dumps(floor, indent=2) + "\n")
+        print(f"floor updated: {FLOOR_PATH}")
+
+    if args.check:
+        floor = json.loads(FLOOR_PATH.read_text())
+        failures = []
+        if results["draft"]["speedup"] < floor["draft_speedup_min"]:
+            failures.append(
+                f"draft speedup {results['draft']['speedup']}x < "
+                f"floor {floor['draft_speedup_min']}x"
+            )
+        if results["verify"]["speedup"] < floor.get("verify_speedup_min", 1.0):
+            failures.append(
+                f"verify speedup {results['verify']['speedup']}x < "
+                f"floor {floor['verify_speedup_min']}x"
+            )
+        if failures:
+            print("THROUGHPUT REGRESSION:\n  " + "\n  ".join(failures))
+            return 1
+        print("throughput floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

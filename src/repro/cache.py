@@ -1,0 +1,73 @@
+"""Process-wide cache registry.
+
+Several hot-path modules memoize pure functions of (space, config):
+lowering, symbol extraction, feature rows, divisor tables.  Before this
+registry each cache was a module-level ``lru_cache`` that grew for the
+life of the process — a long-running multi-job service (``repro.service``)
+accumulates entries for every task it ever touched, pinning workload and
+schedule objects that will never be used again.
+
+Every memo in the repository now registers a *clear hook* here, and the
+service calls :func:`clear_caches` between jobs.  The registry neither
+owns the cached data nor changes lookup semantics; it only makes "drop
+everything cached" a single call.
+
+Usage::
+
+    from repro.cache import register_cache
+
+    @lru_cache(maxsize=65536)
+    def _expensive(key): ...
+    register_cache("mymod._expensive", _expensive.cache_clear)
+
+or for ``lru_cache`` functions directly::
+
+    _expensive = register_lru("mymod._expensive", _expensive)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Protocol
+
+
+class _LruLike(Protocol):  # what functools.lru_cache exposes
+    def cache_clear(self) -> None: ...
+
+
+_REGISTRY: dict[str, Callable[[], None]] = {}
+_GUARD = threading.Lock()
+
+
+def register_cache(name: str, clear: Callable[[], None]) -> None:
+    """Register a clear hook under a unique dotted name.
+
+    Re-registering the same name replaces the hook (module reloads).
+    """
+    with _GUARD:
+        _REGISTRY[name] = clear
+
+
+def register_lru(name: str, fn: _LruLike):
+    """Register an ``lru_cache``-decorated function; returns it unchanged."""
+    register_cache(name, fn.cache_clear)
+    return fn
+
+
+def registered_caches() -> list[str]:
+    """Names of every registered cache (sorted, for introspection)."""
+    with _GUARD:
+        return sorted(_REGISTRY)
+
+
+def clear_caches() -> int:
+    """Clear every registered cache; returns the number of caches cleared.
+
+    Safe to call at any quiescent point (between tuning jobs, between
+    tests).  Individual clear hooks must be idempotent.
+    """
+    with _GUARD:
+        hooks = list(_REGISTRY.values())
+    for clear in hooks:
+        clear()
+    return len(hooks)

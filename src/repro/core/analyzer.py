@@ -20,8 +20,11 @@ from dataclasses import dataclass
 
 from typing import TYPE_CHECKING
 
-from repro.core.penalty import compute_penalties
-from repro.core.symbols import extract_symbols
+import numpy as np
+
+from repro.core.penalty import compute_penalties, compute_penalties_batch
+from repro.core.symbols import extract_symbols, extract_symbols_batch
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 
 if TYPE_CHECKING:  # runtime-free to avoid a core <-> hardware import cycle
@@ -39,6 +42,16 @@ def is_launchable(prog: LoweredProgram, device: "DeviceSpec") -> bool:
         1 <= prog.threads_per_block <= device.max_threads_per_block
         and prog.smem_bytes <= device.smem_per_block
         and prog.grid >= 1
+    )
+
+
+def is_launchable_mask(batch: CandidateBatch, device: "DeviceSpec") -> np.ndarray:
+    """Vectorized :func:`is_launchable`: boolean mask over a batch."""
+    return (
+        (batch.threads >= 1)
+        & (batch.threads <= device.max_threads_per_block)
+        & (batch.smem_bytes <= device.smem_per_block)
+        & (batch.grid >= 1)
     )
 
 
@@ -87,5 +100,45 @@ class SymbolBasedAnalyzer:
         return -self.latency(prog)
 
     def scores(self, progs: list[LoweredProgram]) -> list[float]:
-        """Vectorized convenience wrapper over :meth:`score`."""
-        return [self.score(p) for p in progs]
+        """Batch scores of a program list (delegates to the array path)."""
+        if not progs:
+            return []
+        return self.score_batch(CandidateBatch.from_programs(progs)).tolist()
+
+    # ------------------------------------------------------------------
+    # batched path (one GA generation = a handful of numpy ops)
+    # ------------------------------------------------------------------
+    def latency_batch(self, batch: CandidateBatch) -> np.ndarray:
+        """Vectorized :meth:`latency` over a :class:`CandidateBatch`.
+
+        Same operation order as the scalar formula, so both paths agree
+        bit-for-bit on every candidate.
+        """
+        symbols = extract_symbols_batch(batch)
+        pen = compute_penalties_batch(
+            symbols, self.device, batch.dtype_bytes.astype(np.float64)
+        )
+
+        peak = np.where(
+            batch.tensorcore, self.device.peak_for(True), self.device.peak_for(False)
+        )
+        n = len(batch)
+        compute_product = (
+            pen.compute_product() if self.use_compute_penalty else np.ones(n)
+        )
+        memory_product = (
+            pen.memory_product() if self.use_memory_penalty else np.ones(n)
+        )
+
+        u_p = peak * np.maximum(compute_product, 1e-12)
+        u_m = self.device.peak_bw * np.maximum(memory_product, 1e-12)
+
+        l_c = symbols.s8_l2_compute / u_p
+        l_m = symbols.s5_l2_traffic * batch.dtype_bytes / u_m
+        return l_c + l_m
+
+    def score_batch(self, batch: CandidateBatch) -> np.ndarray:
+        """Vectorized :meth:`score`: ``-latency``, ``-inf`` if unlaunchable."""
+        scores = -self.latency_batch(batch)
+        scores[~is_launchable_mask(batch, self.device)] = -math.inf
+        return scores

@@ -10,6 +10,13 @@ Across ``n_steps`` generations it maintains
 
 The output S_spec (paper default 512) is the drafted candidate set the
 learned cost model later verifies.
+
+The whole loop is batched: the population lives as a
+:class:`~repro.schedule.batch.ConfigBatch` factor tensor, one
+generation is ``lower_batch`` + ``score_batch`` + array-level
+selection/crossover/mutation, and S_spec is maintained as parallel
+arrays — :class:`~repro.schedule.space.ScheduleConfig` objects are only
+materialized for the final drafted set.
 """
 
 from __future__ import annotations
@@ -20,9 +27,9 @@ import numpy as np
 
 from repro.config import SearchConfig
 from repro.core.analyzer import SymbolBasedAnalyzer
-from repro.schedule.lower import lower
-from repro.schedule.mutate import crossover, mutate
-from repro.schedule.sampler import random_population
+from repro.schedule.batch import ConfigBatch, lower_batch
+from repro.schedule.mutate import crossover_pairs, mutate_batch
+from repro.schedule.sampler import random_batch
 from repro.schedule.space import ScheduleConfig, ScheduleSpace
 
 
@@ -41,6 +48,39 @@ class LSEResult:
     def top(self, k: int) -> list[ScheduleConfig]:
         """Best ``k`` drafted schedules."""
         return self.spec[:k]
+
+
+@dataclass
+class _SpecPool:
+    """S_spec as parallel arrays: candidates + scores + identity keys."""
+
+    batch: ConfigBatch | None = None
+    scores: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def merge(self, population: ConfigBatch, scores: np.ndarray, cap: int) -> None:
+        """PriorFilter: fold a scored generation in, keep the best ``cap``.
+
+        Unlaunchable candidates (score ``-inf``) are dropped; duplicates
+        keep their first score (scoring is deterministic, so first == max).
+        """
+        keep = np.isfinite(scores)
+        if not keep.any() and self.batch is None:
+            return
+        fresh = population.take(keep)
+        fresh_scores = scores[keep]
+        if self.batch is None:
+            merged, merged_scores = fresh, fresh_scores
+        else:
+            merged = ConfigBatch.concat([self.batch, fresh])
+            merged_scores = np.concatenate([self.scores, fresh_scores])
+        _, first = np.unique(merged.row_ids(), return_index=True)
+        first = np.sort(first)  # stable: spec entries precede rediscoveries
+        merged, merged_scores = merged.take(first), merged_scores[first]
+        if len(merged) > cap:
+            top = np.argsort(-merged_scores, kind="stable")[:cap]
+            top = np.sort(top)  # keep insertion order between merges
+            merged, merged_scores = merged.take(top), merged_scores[top]
+        self.batch, self.scores = merged, merged_scores
 
 
 class LatentScheduleExplorer:
@@ -68,83 +108,78 @@ class LatentScheduleExplorer:
         later tuning rounds refine around known-good regions.
         """
         cfg = self.search
-        population = random_population(space, rng, cfg.population)
-        for seed in seeds or []:
-            population.append(seed)
-            for _ in range(3):
-                population.append(mutate(seed, space, rng))
-        spec: dict[str, tuple[float, ScheduleConfig]] = {}
+        population = random_batch(space, rng, cfg.population)
+        if seeds:
+            seed_batch = ConfigBatch.from_configs(space, seeds)
+            mutations = [mutate_batch(seed_batch, space, rng) for _ in range(3)]
+            population = ConfigBatch.concat([population, seed_batch, *mutations])
+        spec = _SpecPool()
         n_evals = 0
 
         for _ in range(cfg.ga_steps):
             scores = self._evaluate(space, population)
             n_evals += len(population)
-            self._prior_filter(spec, population, scores, cfg.spec_size)
+            spec.merge(population, scores, cfg.spec_size)
             population = self._next_generation(space, population, scores, rng)
 
         # Evaluate the final generation too (Algorithm 2 evaluates at
         # the top of each step; one last merge keeps its best offspring).
         scores = self._evaluate(space, population)
         n_evals += len(population)
-        self._prior_filter(spec, population, scores, cfg.spec_size)
+        spec.merge(population, scores, cfg.spec_size)
 
-        ordered = sorted(spec.values(), key=lambda t: t[0], reverse=True)
+        if spec.batch is None:
+            return LSEResult(spec=[], fitness={}, n_evals=n_evals)
+        order = np.argsort(-spec.scores, kind="stable")
+        ranked = spec.batch.take(order)
+        ranked_scores = spec.scores[order]
+        configs = ranked.configs()
         return LSEResult(
-            spec=[c for _, c in ordered],
-            fitness={c.key: s for s, c in ordered},
+            spec=configs,
+            fitness={c.key: float(s) for c, s in zip(configs, ranked_scores)},
             n_evals=n_evals,
         )
 
     # ------------------------------------------------------------------
-    def _evaluate(
-        self, space: ScheduleSpace, population: list[ScheduleConfig]
-    ) -> list[float]:
-        """CSA: draft-model fitness of every schedule in the population."""
-        return [self.analyzer.score(lower(space, c)) for c in population]
-
-    @staticmethod
-    def _prior_filter(
-        spec: dict[str, tuple[float, ScheduleConfig]],
-        population: list[ScheduleConfig],
-        scores: list[float],
-        spec_size: int,
-    ) -> None:
-        """Merge the scored population into S_spec, keeping the best."""
-        for config, score in zip(population, scores):
-            if score == float("-inf"):
-                continue  # violates hard launch constraints
-            key = config.key
-            if key not in spec or spec[key][0] < score:
-                spec[key] = (score, config)
-        if len(spec) > spec_size:
-            keep = sorted(spec.items(), key=lambda kv: kv[1][0], reverse=True)
-            for key, _ in keep[spec_size:]:
-                del spec[key]
+    def _evaluate(self, space: ScheduleSpace, population: ConfigBatch) -> np.ndarray:
+        """CSA: draft-model fitness of the population (one array op chain)."""
+        return self.analyzer.score_batch(lower_batch(space, population))
 
     def _next_generation(
         self,
         space: ScheduleSpace,
-        population: list[ScheduleConfig],
-        scores: list[float],
+        population: ConfigBatch,
+        scores: np.ndarray,
         rng: np.random.Generator,
-    ) -> list[ScheduleConfig]:
+    ) -> ConfigBatch:
         """SchMutation: fitness-weighted selection + crossover + mutation."""
         cfg = self.search
+        n = len(population)
         order = np.argsort(scores)[::-1]
-        elite_n = max(2, len(population) // 8)
-        elite = [population[i] for i in order[:elite_n]]
+        elite_n = max(2, n // 8)
+        elite = population.take(order[:elite_n])
 
         # Softmax selection weights over ranks (robust to score scale).
-        ranks = np.empty(len(population))
-        ranks[order] = np.arange(len(population))
-        weights = np.exp(-ranks / max(1.0, len(population) / 4.0))
+        ranks = np.empty(n)
+        ranks[order] = np.arange(n)
+        weights = np.exp(-ranks / max(1.0, n / 4.0))
         weights /= weights.sum()
 
-        children: list[ScheduleConfig] = list(elite)
-        while len(children) < len(population):
-            i, j = rng.choice(len(population), size=2, p=weights)
-            child = crossover(population[int(i)], population[int(j)], space, rng)
-            if rng.random() < cfg.mutation_prob:
-                child = mutate(child, space, rng)
-            children.append(child)
-        return children
+        n_children = n - elite_n
+        if n_children <= 0:
+            return elite
+        parents = rng.choice(n, size=(n_children, 2), p=weights)
+        children = crossover_pairs(
+            population, parents[:, 0], parents[:, 1], space, rng
+        )
+        mutate_mask = rng.random(n_children) < cfg.mutation_prob
+        if mutate_mask.any():
+            mutated = mutate_batch(children.take(mutate_mask), space, rng)
+            keep = children.take(~mutate_mask)
+            # Reassemble in child order so generation layout stays stable.
+            merged = ConfigBatch.concat([keep, mutated])
+            restore = np.empty(n_children, dtype=np.int64)
+            restore[np.flatnonzero(~mutate_mask)] = np.arange(len(keep))
+            restore[np.flatnonzero(mutate_mask)] = len(keep) + np.arange(len(mutated))
+            children = merged.take(restore)
+        return ConfigBatch.concat([elite, children])

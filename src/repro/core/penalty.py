@@ -23,7 +23,9 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.symbols import Symbols
+import numpy as np
+
+from repro.core.symbols import Symbols, SymbolsBatch
 
 if TYPE_CHECKING:  # runtime-free to avoid a core <-> hardware import cycle
     from repro.hardware.device import DeviceSpec
@@ -89,6 +91,79 @@ def compute_penalties(
     p_l2_m = s.s7_l2_trans / (math.ceil(s.s7_l2_trans / n_l2) * n_l2)
 
     return Penalties(
+        p_l0_m=p_l0_m,
+        p_l0_c=p_l0_c,
+        p_l1_m=p_l1_m,
+        p_l1_c=p_l1_c,
+        alpha_l1=alpha_l1,
+        p_l2_c=p_l2_c,
+        p_l2_m=p_l2_m,
+        p_tc=s.s9_tc_align,
+    )
+
+
+@dataclass(frozen=True)
+class PenaltiesBatch:
+    """Penalty terms of a whole batch, one ``(N,)`` array per term.
+
+    Same formulas and operation order as :class:`Penalties` so the two
+    paths agree bit-for-bit (the equivalence suite checks this).
+    """
+
+    p_l0_m: np.ndarray
+    p_l0_c: np.ndarray
+    p_l1_m: np.ndarray
+    p_l1_c: np.ndarray
+    alpha_l1: np.ndarray
+    p_l2_c: np.ndarray
+    p_l2_m: np.ndarray
+    p_tc: np.ndarray
+
+    def density(self) -> np.ndarray:
+        """P_l0_c folded into a (0, 1] utilization factor (see Penalties)."""
+        return 1.0 - 1.0 / self.p_l0_c
+
+    def compute_product(self) -> np.ndarray:
+        """Product of the compute-side penalties (drives U_p)."""
+        return self.density() * self.p_l1_c * self.alpha_l1 * self.p_l2_c * self.p_tc
+
+    def memory_product(self) -> np.ndarray:
+        """Product of the memory-side penalties (drives U_m)."""
+        return self.p_l0_m * self.p_l1_m * self.p_l2_m
+
+
+def compute_penalties_batch(
+    symbols: SymbolsBatch, device: DeviceSpec, dtype_bytes: np.ndarray
+) -> PenaltiesBatch:
+    """Vectorized :func:`compute_penalties` (``dtype_bytes`` per candidate)."""
+    s = symbols
+
+    # --- L0 (registers) ---
+    m_l0 = float(device.max_regs_per_thread)
+    s1 = np.maximum(1.0, s.s1_l0_alloc)
+    p_l0_m = np.minimum(m_l0 / s1, 1.0)
+    p_l0_c = 1.0 + s.s2_l0_compute / s1
+
+    # --- L1 (shared memory / warps) ---
+    m_l1_elems = device.smem_per_block / dtype_bytes
+    p_l1_m = np.where(
+        s.s3_l1_alloc > 0,
+        np.minimum(m_l1_elems / np.maximum(1.0, s.s3_l1_alloc), 1.0),
+        1.0,
+    )
+    n_l1 = device.warp_size
+    pu_l1 = device.warp_schedulers
+    sch_l1 = np.ceil(s.s4_l1_para / n_l1)
+    p_l1_c = sch_l1 / (np.ceil(sch_l1 / pu_l1) * pu_l1)
+    alpha_l1 = s.s4_l1_para / (sch_l1 * n_l1)
+
+    # --- L2 (global memory / SMs) ---
+    pu_l2 = device.sms
+    p_l2_c = s.s6_l2_para / (np.ceil(s.s6_l2_para / pu_l2) * pu_l2)
+    n_l2 = device.transaction_elems
+    p_l2_m = s.s7_l2_trans / (np.ceil(s.s7_l2_trans / n_l2) * n_l2)
+
+    return PenaltiesBatch(
         p_l0_m=p_l0_m,
         p_l0_c=p_l0_c,
         p_l1_m=p_l1_m,

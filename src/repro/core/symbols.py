@@ -30,6 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
+from repro.cache import register_lru
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 from repro.schedule.space import WMMA_LANE
 
@@ -95,4 +99,55 @@ def extract_symbols(prog: LoweredProgram) -> Symbols:
         s7_l2_trans=float(prog.trans_span),
         s8_l2_compute=float(prog.flops),
         s9_tc_align=_fragment_alignment(prog),
+    )
+
+
+register_lru("core.symbols.extract_symbols", extract_symbols)
+
+
+@dataclass(frozen=True)
+class SymbolsBatch:
+    """S1..S9 for a whole candidate batch, one ``(N,)`` array per symbol."""
+
+    s1_l0_alloc: np.ndarray
+    s2_l0_compute: np.ndarray
+    s3_l1_alloc: np.ndarray
+    s4_l1_para: np.ndarray
+    s5_l2_traffic: np.ndarray
+    s6_l2_para: np.ndarray
+    s7_l2_trans: np.ndarray
+    s8_l2_compute: np.ndarray
+    s9_tc_align: np.ndarray
+
+    def row(self, i: int) -> Symbols:
+        """Scalar :class:`Symbols` view of one candidate."""
+        return Symbols(
+            s1_l0_alloc=float(self.s1_l0_alloc[i]),
+            s2_l0_compute=float(self.s2_l0_compute[i]),
+            s3_l1_alloc=float(self.s3_l1_alloc[i]),
+            s4_l1_para=float(self.s4_l1_para[i]),
+            s5_l2_traffic=float(self.s5_l2_traffic[i]),
+            s6_l2_para=float(self.s6_l2_para[i]),
+            s7_l2_trans=float(self.s7_l2_trans[i]),
+            s8_l2_compute=float(self.s8_l2_compute[i]),
+            s9_tc_align=float(self.s9_tc_align[i]),
+        )
+
+
+def extract_symbols_batch(batch: CandidateBatch) -> SymbolsBatch:
+    """Vectorized :func:`extract_symbols` over a :class:`CandidateBatch`.
+
+    Pure array views — lowering already materialized every product over
+    tile factors, so this is only dtype promotion to float64.
+    """
+    return SymbolsBatch(
+        s1_l0_alloc=batch.reg_elems.astype(np.float64),
+        s2_l0_compute=batch.thread_compute.astype(np.float64),
+        s3_l1_alloc=batch.smem_elems.astype(np.float64),
+        s4_l1_para=batch.threads.astype(np.float64),
+        s5_l2_traffic=batch.traffic_elems.astype(np.float64),
+        s6_l2_para=batch.grid.astype(np.float64),
+        s7_l2_trans=batch.trans_span.astype(np.float64),
+        s8_l2_compute=batch.flops.astype(np.float64),
+        s9_tc_align=batch.tc_align.astype(np.float64),
     )

@@ -23,6 +23,7 @@ from repro.nn.layers import Module
 from repro.nn.losses import lambdarank_loss, pairwise_rank_accuracy
 from repro.nn.optim import Adam
 from repro.rng import make_rng
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 
 
@@ -60,7 +61,16 @@ class CostModel(ABC):
 
     @abstractmethod
     def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
-        """Scores for a batch (higher = predicted faster)."""
+        """Scores for a program list (higher = predicted faster)."""
+
+    def predict_batch(self, batch: CandidateBatch) -> np.ndarray:
+        """Scores for a :class:`CandidateBatch` (the policies' hot path).
+
+        Concrete models override this with a fully vectorized
+        implementation; the default materializes programs and defers to
+        :meth:`predict`, which is correct for any model.
+        """
+        return self.predict([batch.program(i) for i in range(len(batch))])
 
     @abstractmethod
     def fit(
@@ -96,7 +106,11 @@ class NNCostModel(CostModel):
 
     @abstractmethod
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
-        """Network input array for a batch of programs."""
+        """Network input array for a list of programs."""
+
+    @abstractmethod
+    def featurize_batch(self, batch: CandidateBatch) -> np.ndarray:
+        """Network input array straight from a candidate batch's arrays."""
 
     # ------------------------------------------------------------------
     def _norm_stats(self) -> tuple[np.ndarray, np.ndarray] | None:
@@ -122,8 +136,16 @@ class NNCostModel(CostModel):
     def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
         if not progs:
             return np.zeros(0)
+        return self._forward(self.featurize(progs))
+
+    def predict_batch(self, batch: CandidateBatch) -> np.ndarray:
+        if not len(batch):
+            return np.zeros(0)
+        return self._forward(self.featurize_batch(batch))
+
+    def _forward(self, features: np.ndarray) -> np.ndarray:
         with no_grad():
-            scores = self.net(Tensor(self._normalize(self.featurize(progs))))
+            scores = self.net(Tensor(self._normalize(features)))
         return scores.data.reshape(-1)
 
     def fit(
@@ -194,6 +216,9 @@ class RandomModel(CostModel):
 
     def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
         return self._rng.random(len(progs))
+
+    def predict_batch(self, batch: CandidateBatch) -> np.ndarray:
+        return self._rng.random(len(batch))
 
     def fit(self, progs, latencies, group_keys, train=None, rng=None) -> float:
         return 0.5

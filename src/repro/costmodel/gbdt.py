@@ -13,8 +13,9 @@ import numpy as np
 
 from repro.config import TrainConfig
 from repro.costmodel.base import CostModel, make_labels
-from repro.features.statement import statement_matrix
+from repro.features.statement import statement_matrix, statement_matrix_batch
 from repro.nn.losses import pairwise_rank_accuracy
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 
 
@@ -38,9 +39,11 @@ class _Tree:
         self.max_depth = max_depth
         self.min_samples = min_samples
         self.nodes: list[_Node] = []
+        self._packed: tuple[np.ndarray, ...] | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> None:
         self.nodes = []
+        self._packed = None
         self._grow(x, y, np.arange(len(y)), depth=0)
 
     def _grow(self, x, y, idx, depth) -> int:
@@ -89,14 +92,31 @@ class _Tree:
         f, threshold, lo, ro = best
         return f, threshold, idx[lo], idx[ro]
 
+    def _pack(self) -> tuple[np.ndarray, ...]:
+        """Node list as parallel arrays for vectorized traversal."""
+        if self._packed is None:
+            self._packed = (
+                np.array([n.feature for n in self.nodes], dtype=np.int64),
+                np.array([n.threshold for n in self.nodes]),
+                np.array([n.left for n in self.nodes], dtype=np.int64),
+                np.array([n.right for n in self.nodes], dtype=np.int64),
+                np.array([n.value for n in self.nodes]),
+            )
+        return self._packed
+
     def predict(self, x: np.ndarray) -> np.ndarray:
-        out = np.empty(len(x))
-        for i, row in enumerate(x):
-            node = self.nodes[0]
-            while not node.is_leaf:
-                node = self.nodes[node.left if row[node.feature] <= node.threshold else node.right]
-            out[i] = node.value
-        return out
+        """Walk all rows level-by-level (one mask per depth, no Python loop)."""
+        feature, threshold, left, right, value = self._pack()
+        node = np.zeros(len(x), dtype=np.int64)
+        while True:
+            feat = feature[node]
+            active = feat >= 0
+            if not active.any():
+                break
+            rows = np.flatnonzero(active)
+            go_left = x[rows, feat[rows]] <= threshold[node[rows]]
+            node[rows] = np.where(go_left, left[node[rows]], right[node[rows]])
+        return value[node]
 
 
 class GBDTModel(CostModel):
@@ -122,8 +142,15 @@ class GBDTModel(CostModel):
     def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
         if not progs:
             return np.zeros(0)
-        x = statement_matrix(progs)
-        pred = np.full(len(progs), self._base)
+        return self._predict_features(statement_matrix(progs))
+
+    def predict_batch(self, batch: CandidateBatch) -> np.ndarray:
+        if not len(batch):
+            return np.zeros(0)
+        return self._predict_features(statement_matrix_batch(batch))
+
+    def _predict_features(self, x: np.ndarray) -> np.ndarray:
+        pred = np.full(len(x), self._base)
         for tree in self._trees:
             pred += self.learning_rate * tree.predict(x)
         return pred

@@ -12,8 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.costmodel.base import NNCostModel
-from repro.features.statement import STATEMENT_DIM, statement_matrix
+from repro.features.statement import STATEMENT_DIM, statement_matrix, statement_matrix_batch
 from repro.nn.layers import Linear, ReLU, Sequential
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 
 
@@ -34,3 +35,6 @@ class TenSetMLP(NNCostModel):
 
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
         return statement_matrix(progs)
+
+    def featurize_batch(self, batch: CandidateBatch) -> np.ndarray:
+        return statement_matrix_batch(batch)

@@ -21,8 +21,18 @@ import numpy as np
 
 from repro.costmodel.base import NNCostModel
 from repro.errors import CostModelError
-from repro.features.dataflow import DATAFLOW_BLOCKS, DATAFLOW_DIM, dataflow_tensor
-from repro.features.statement import STATEMENT_DIM, statement_matrix
+from repro.features.dataflow import (
+    DATAFLOW_BLOCKS,
+    DATAFLOW_DIM,
+    dataflow_tensor,
+    dataflow_tensor_batch,
+)
+from repro.features.statement import (
+    STATEMENT_DIM,
+    statement_matrix,
+    statement_matrix_batch,
+)
+from repro.schedule.batch import CandidateBatch
 from repro.nn.autograd import Tensor, concatenate
 from repro.nn.layers import (
     LayerNorm,
@@ -114,4 +124,9 @@ class PaCM(NNCostModel):
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
         stmt = statement_matrix(progs)
         df = dataflow_tensor(progs).reshape(len(progs), _DF_FLAT)
+        return np.concatenate([stmt, df], axis=1)
+
+    def featurize_batch(self, batch: CandidateBatch) -> np.ndarray:
+        stmt = statement_matrix_batch(batch)
+        df = dataflow_tensor_batch(batch).reshape(len(batch), _DF_FLAT)
         return np.concatenate([stmt, df], axis=1)

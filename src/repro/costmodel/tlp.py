@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.costmodel.base import NNCostModel
-from repro.features.primitives import PRIMITIVE_DIM, primitive_tensor
+from repro.features.primitives import PRIMITIVE_DIM, primitive_tensor, primitive_tensor_batch
+from repro.schedule.batch import CandidateBatch
 from repro.nn.autograd import Tensor
 from repro.nn.layers import (
     LayerNorm,
@@ -57,3 +58,6 @@ class TLPModel(NNCostModel):
 
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
         return primitive_tensor(progs)
+
+    def featurize_batch(self, batch: CandidateBatch) -> np.ndarray:
+        return primitive_tensor_batch(batch)

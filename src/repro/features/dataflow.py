@@ -29,60 +29,96 @@ zero-padded — "requiring no additional computational overhead".
 Every value is tied to its program's tile factors, so two different
 schedules virtually never produce identical sequences: the feature
 diversity the paper contrasts with TLP's sparse one-hots.
+
+Encoding is batched: :func:`dataflow_tensor_batch` turns the packed
+block arrays of a :class:`~repro.schedule.batch.CandidateBatch` into
+one ``(N, 10, 23)`` tensor (with shared-cache row reuse); the scalar
+:func:`dataflow_features` and list-based :func:`dataflow_tensor` are
+thin wrappers over the same encoder.
 """
 
 from __future__ import annotations
 
-import math
 from functools import lru_cache
 
 import numpy as np
 
-from repro.schedule.lower import DataflowBlock, LoweredProgram
+from repro.cache import register_lru
+from repro.features.cache import FEATURE_ROWS
+from repro.schedule.batch import BLOCK_KINDS, CandidateBatch
+from repro.schedule.lower import LoweredProgram
 
 DATAFLOW_BLOCKS = 10
 DATAFLOW_DIM = 23
 
-_KINDS = ("init", "load", "fragment", "compute", "store", "stream")
+_KINDS = BLOCK_KINDS  # ("init", "load", "fragment", "compute", "store", "stream")
 _LEVELS = (0, 1, 2, 3)  # L0 regs, L1 shared, L2 global, fragment
 
 
-def _lg(x: float) -> float:
-    return math.log2(1.0 + max(0.0, x)) / 16.0
+def _lg(x: np.ndarray) -> np.ndarray:
+    return np.log2(1.0 + np.maximum(0.0, x)) / 16.0
 
 
-def _encode_block(block: DataflowBlock) -> list[float]:
-    vec = [_lg(block.compute_ops)]
-    vec += [1.0 if block.kind == k else 0.0 for k in _KINDS]
-    vec += [1.0 if block.src_level == lv else 0.0 for lv in _LEVELS]
-    vec += [1.0 if block.dst_level == lv else 0.0 for lv in _LEVELS]
-    vec += [
-        _lg(block.traffic_elems * block.dtype_bytes),
-        _lg(block.alloc_elems),
-        _lg(block.reuse),
-        _lg(block.innermost_span),
-        (block.innermost_span % 32) / 32.0,
-        _lg(block.vector),
-        block.dtype_bytes / 4.0,
-        _lg(block.alloc_elems * block.dtype_bytes),
-    ]
-    assert len(vec) == DATAFLOW_DIM
-    return vec
+def _encode(batch: CandidateBatch) -> np.ndarray:
+    """The (N, DATAFLOW_BLOCKS, DATAFLOW_DIM) tensor of a batch."""
+    bl = batch.blocks
+    n, b_total = bl.kind.shape
+    b = min(b_total, DATAFLOW_BLOCKS)
+    out = np.zeros((n, DATAFLOW_BLOCKS, DATAFLOW_DIM), dtype=np.float64)
+    kind = bl.kind[:, :b]
+    valid = kind >= 0
+    enc = out[:, :b, :]
+    enc[..., 0] = _lg(bl.compute[:, :b])
+    for code in range(len(_KINDS)):
+        enc[..., 1 + code] = kind == code
+    for i, level in enumerate(_LEVELS):
+        enc[..., 7 + i] = valid & (bl.src[:, :b] == level)
+        enc[..., 11 + i] = valid & (bl.dst[:, :b] == level)
+    enc[..., 15] = _lg(bl.traffic[:, :b] * bl.dtype_bytes[:, :b])
+    enc[..., 16] = _lg(bl.alloc[:, :b])
+    enc[..., 17] = _lg(bl.reuse[:, :b])
+    enc[..., 18] = _lg(bl.span[:, :b])
+    enc[..., 19] = (bl.span[:, :b] % 32) / 32.0
+    enc[..., 20] = _lg(bl.vector[:, :b])
+    enc[..., 21] = bl.dtype_bytes[:, :b] / 4.0
+    enc[..., 22] = _lg(bl.alloc[:, :b] * bl.dtype_bytes[:, :b])
+    return out
+
+
+def dataflow_tensor_batch(batch: CandidateBatch) -> np.ndarray:
+    """Batch dataflow sequences: shape ``(N, DATAFLOW_BLOCKS, DATAFLOW_DIM)``.
+
+    Rows of candidates seen before (same space, same config) come from
+    the shared feature cache; only the misses are encoded.
+    """
+    if batch.configs is None or not len(batch):
+        return _encode(batch)
+    return FEATURE_ROWS.fetch(
+        batch.configs.space,
+        "dataflow",
+        batch.keys(),
+        lambda missing: _encode(batch.take(missing)),
+    )
 
 
 @lru_cache(maxsize=65536)
-def _dataflow_features_cached(prog: LoweredProgram) -> tuple[tuple[float, ...], ...]:
-    rows = [tuple(_encode_block(b)) for b in prog.blocks[:DATAFLOW_BLOCKS]]
-    pad = (0.0,) * DATAFLOW_DIM
-    rows += [pad] * (DATAFLOW_BLOCKS - len(rows))
-    return tuple(rows)
+def _program_rows(prog: LoweredProgram) -> np.ndarray:
+    """Memoized per-program sequence (read-only) for the list-based path."""
+    rows = _encode(CandidateBatch.from_programs([prog]))[0]
+    rows.flags.writeable = False
+    return rows
 
 
-def dataflow_features(prog: LoweredProgram) -> np.ndarray:
-    """Temporal dataflow sequence of shape ``(DATAFLOW_BLOCKS, DATAFLOW_DIM)``."""
-    return np.asarray(_dataflow_features_cached(prog), dtype=np.float64)
+register_lru("features.dataflow._program_rows", _program_rows)
 
 
 def dataflow_tensor(progs: list[LoweredProgram]) -> np.ndarray:
     """Batch of dataflow sequences: shape (N, DATAFLOW_BLOCKS, DATAFLOW_DIM)."""
-    return np.stack([dataflow_features(p) for p in progs])
+    if not progs:
+        return np.zeros((0, DATAFLOW_BLOCKS, DATAFLOW_DIM), dtype=np.float64)
+    return np.stack([_program_rows(p) for p in progs])
+
+
+def dataflow_features(prog: LoweredProgram) -> np.ndarray:
+    """Temporal dataflow sequence of shape ``(DATAFLOW_BLOCKS, DATAFLOW_DIM)``."""
+    return dataflow_tensor([prog])[0]

@@ -26,6 +26,9 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.cache import register_lru
+from repro.features.cache import FEATURE_ROWS
+from repro.schedule.batch import CandidateBatch, space_plan
 from repro.schedule.lower import LoweredProgram
 
 PRIMITIVE_SEQ = 12
@@ -72,9 +75,76 @@ def primitive_features(prog: LoweredProgram) -> np.ndarray:
     return np.asarray(_primitive_features_cached(prog), dtype=np.float64)
 
 
+register_lru("features.primitives._primitive_features_cached", _primitive_features_cached)
+
+
 def primitive_tensor(progs: list[LoweredProgram]) -> np.ndarray:
     """Batch of primitive sequences: (N, PRIMITIVE_SEQ, PRIMITIVE_DIM)."""
     return np.stack([primitive_features(p) for p in progs])
+
+
+def _bucket_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_bucket` (log2 bucket, clamped)."""
+    safe = np.maximum(values, 1)
+    buckets = np.floor(np.log2(safe)).astype(np.int64)
+    buckets = np.minimum(buckets, _N_BUCKETS - 1)
+    return np.where(values < 1, 0, buckets)
+
+
+def primitive_tensor_batch(batch: CandidateBatch) -> np.ndarray:
+    """Vectorized primitive sequences for a single-space candidate batch.
+
+    Requires the batch to carry its :class:`ConfigBatch` (the
+    ``lower_batch`` path); mixed-workload program lists go through the
+    scalar :func:`primitive_tensor`.  Rows of candidates seen before
+    come from the shared feature cache, like the other views.
+    """
+    cb = batch.configs
+    if cb is None:
+        assert batch.programs is not None
+        return primitive_tensor(batch.programs)
+    if not len(batch):
+        return np.zeros((0, PRIMITIVE_SEQ, PRIMITIVE_DIM), dtype=np.float64)
+    return FEATURE_ROWS.fetch(
+        cb.space,
+        "primitives",
+        batch.keys(),
+        lambda missing: _encode_batch(batch.take(missing)),
+    )
+
+
+def _encode_batch(batch: CandidateBatch) -> np.ndarray:
+    cb = batch.configs
+    assert cb is not None
+    plan = space_plan(cb.space)
+    n = len(batch)
+    rows = np.arange(n)
+    out = np.zeros((n, PRIMITIVE_SEQ, PRIMITIVE_DIM), dtype=np.float64)
+    token = 0
+    # one token per axis split, in config.tiles (sorted-name) order
+    for a in plan.sorted_axis_order:
+        if token >= PRIMITIVE_SEQ:
+            break
+        type_idx = 0 if a < plan.n_spatial else 1
+        out[:, token, type_idx] = 1.0
+        parts = int(plan.parts[a])
+        for slot in range(min(parts, _N_SLOTS)):
+            bucket = _bucket_array(cb.factors[:, a, slot])
+            out[rows, token, _N_TYPES + slot * _N_BUCKETS + bucket] = 1.0
+        token += 1
+    # annotation token: slot 0 = unroll bucket, slot 1 = vector bucket
+    if token < PRIMITIVE_SEQ:
+        out[:, token, 2] = 1.0
+        out[rows, token, _N_TYPES + _bucket_array(cb.unroll)] = 1.0
+        out[rows, token, _N_TYPES + _N_BUCKETS + _bucket_array(cb.vector)] = 1.0
+        token += 1
+    # splitK token, only for candidates that actually split
+    if token < PRIMITIVE_SEQ:
+        has = cb.splitk > 1
+        out[has, token, 3] = 1.0
+        sk_rows = rows[has]
+        out[sk_rows, token, _N_TYPES + _bucket_array(cb.splitk[has])] = 1.0
+    return out
 
 
 def sparsity(progs: list[LoweredProgram]) -> float:

@@ -11,73 +11,127 @@ Section 4.2): per-thread register structure (accumulator tile vs
 operand tiles, vthread split) is only visible as the aggregate register
 count, so instruction-level-parallelism effects are not separable from
 these features alone.
+
+Extraction is batched: :func:`statement_matrix_batch` encodes a whole
+:class:`~repro.schedule.batch.CandidateBatch` as one ``(N, 40)`` array
+(consulting the shared :mod:`repro.features.cache` row store); the
+scalar :func:`statement_features` and list-based
+:func:`statement_matrix` are thin wrappers over the same encoder.
 """
 
 from __future__ import annotations
 
-import math
 from functools import lru_cache
 
 import numpy as np
 
+from repro.cache import register_lru
+from repro.features.cache import FEATURE_ROWS
+from repro.schedule.batch import BK_LOAD, CandidateBatch, TAG_ORDER
 from repro.schedule.lower import LoweredProgram
 
 STATEMENT_DIM = 40
 
 _UNROLLS = (0, 16, 64, 512)
 _VECTORS = (1, 2, 4)
-_TAGS = ("matmul", "conv2d", "depthwise", "conv2d_transpose", "pool", "elementwise")
+_TAGS = TAG_ORDER
 
 
-def _lg(x: float) -> float:
-    """log2 scaling, normalized to roughly [0, 2.5]."""
-    return math.log2(1.0 + max(0.0, x)) / 16.0
+def _lg(x: np.ndarray) -> np.ndarray:
+    """log2 scaling, normalized to roughly [0, 2.5] (vectorized)."""
+    return np.log2(1.0 + np.maximum(0.0, x)) / 16.0
+
+
+def _encode(batch: CandidateBatch) -> np.ndarray:
+    """The (N, STATEMENT_DIM) statement-feature matrix of a batch."""
+    n = len(batch)
+    threads = batch.threads
+    warps = -(-threads // 32)  # warp size is universal across CUDA GPUs
+    feats = np.zeros((n, STATEMENT_DIM), dtype=np.float64)
+    feats[:, 0] = _lg(batch.flops)
+    feats[:, 1] = _lg(batch.traffic_elems * batch.dtype_bytes)
+    feats[:, 2] = _lg(batch.output_elems)
+    feats[:, 3] = _lg(batch.arith_intensity)
+    feats[:, 4] = _lg(threads)
+    feats[:, 5] = _lg(batch.grid)
+    feats[:, 6] = _lg(batch.reg_elems)
+    feats[:, 7] = _lg(batch.smem_bytes)
+    feats[:, 8] = _lg(batch.trans_span)
+    feats[:, 9] = _lg(batch.splitk)
+    feats[:, 10] = batch.dtype_bytes / 4.0
+    feats[:, 11] = batch.n_fused / 4.0
+    feats[:, 12] = batch.tensorcore
+    feats[:, 13] = threads / (warps * 32.0)  # warp-occupancy fraction
+    feats[:, 14] = (threads % 32) / 32.0  # partial-warp remainder
+    feats[:, 15] = _lg(warps)
+    feats[:, 16] = _lg(batch.n_reduction)
+    col = 17
+    # annotation one-hots
+    for u in _UNROLLS:
+        feats[:, col] = batch.unroll == u
+        col += 1
+    for v in _VECTORS:
+        feats[:, col] = batch.vector == v
+        col += 1
+    # operator-class one-hot
+    for t in range(len(_TAGS)):
+        feats[:, col] = batch.tag_code == t
+        col += 1
+    # per-input-buffer access statistics (up to 3 buffers, 3 values each)
+    loads = batch.blocks.kind == BK_LOAD
+    if loads.shape[1]:
+        rank = loads.cumsum(axis=1)
+        rows = np.arange(n)
+        for k in range(3):
+            sel = loads & (rank == k + 1)
+            has = sel.any(axis=1)
+            idx = np.argmax(sel, axis=1)
+            feats[has, col] = _lg(batch.blocks.traffic[rows, idx])[has]
+            feats[has, col + 1] = _lg(batch.blocks.alloc[rows, idx])[has]
+            feats[has, col + 2] = _lg(batch.blocks.span[rows, idx])[has]
+            col += 3
+    return feats  # remaining columns stay zero-padded
+
+
+def statement_matrix_batch(batch: CandidateBatch) -> np.ndarray:
+    """Batch statement features: shape ``(N, STATEMENT_DIM)``.
+
+    Rows of candidates seen before (same space, same config) come from
+    the shared feature cache; only the misses are encoded.
+    """
+    if batch.configs is None or not len(batch):
+        return _encode(batch)
+    return FEATURE_ROWS.fetch(
+        batch.configs.space,
+        "statement",
+        batch.keys(),
+        lambda missing: _encode(batch.take(missing)),
+    )
 
 
 @lru_cache(maxsize=65536)
-def _statement_features_cached(prog: LoweredProgram) -> tuple[float, ...]:
-    wl = prog.workload
-    threads = prog.threads_per_block
-    warps = -(-threads // 32)  # warp size is universal across CUDA GPUs
-    feats: list[float] = [
-        _lg(prog.flops),
-        _lg(prog.traffic_elems * wl.dtype_bytes),
-        _lg(wl.output_elems),
-        _lg(wl.arithmetic_intensity()),
-        _lg(threads),
-        _lg(prog.grid),
-        _lg(prog.reg_elems),
-        _lg(prog.smem_bytes),
-        _lg(prog.trans_span),
-        _lg(prog.splitk),
-        wl.dtype_bytes / 4.0,
-        float(len(wl.fused_ops)) / 4.0,
-        1.0 if prog.tensorcore else 0.0,
-        threads / (warps * 32.0),  # warp-occupancy fraction
-        (threads % 32) / 32.0,  # partial-warp remainder
-        _lg(warps),
-        _lg(len(wl.reduction)),
-    ]
-    # annotation one-hots
-    feats += [1.0 if prog.unroll == u else 0.0 for u in _UNROLLS]
-    feats += [1.0 if prog.vector == v else 0.0 for v in _VECTORS]
-    # operator-class one-hot
-    feats += [1.0 if wl.tag == t else 0.0 for t in _TAGS]
-    # per-input-buffer access statistics (up to 3 buffers, 3 values each)
-    loads = [b for b in prog.blocks if b.kind == "load"][:3]
-    for b in loads:
-        feats += [_lg(b.traffic_elems), _lg(b.alloc_elems), _lg(b.innermost_span)]
-    feats += [0.0] * (3 * (3 - len(loads)))
-    # padding to the fixed width
-    feats += [0.0] * (STATEMENT_DIM - len(feats))
-    return tuple(feats[:STATEMENT_DIM])
+def _program_row(prog: LoweredProgram) -> np.ndarray:
+    """Memoized per-program row (read-only) for the list-based path.
+
+    Cost-model training re-featurizes the whole accumulated record
+    history every round; this amortizes that across rounds like the
+    seed's per-program cache did.
+    """
+    row = _encode(CandidateBatch.from_programs([prog]))[0]
+    row.flags.writeable = False
+    return row
+
+
+register_lru("features.statement._program_row", _program_row)
+
+
+def statement_matrix(progs: list[LoweredProgram]) -> np.ndarray:
+    """Stack statement features for a program list: (N, STATEMENT_DIM)."""
+    if not progs:
+        return np.zeros((0, STATEMENT_DIM), dtype=np.float64)
+    return np.stack([_program_row(p) for p in progs])
 
 
 def statement_features(prog: LoweredProgram) -> np.ndarray:
     """Feature vector of shape ``(STATEMENT_DIM,)`` for one program."""
-    return np.asarray(_statement_features_cached(prog), dtype=np.float64)
-
-
-def statement_matrix(progs: list[LoweredProgram]) -> np.ndarray:
-    """Stack statement features for a batch: shape (N, STATEMENT_DIM)."""
-    return np.stack([statement_features(p) for p in progs])
+    return statement_matrix([prog])[0]

@@ -11,18 +11,23 @@ constrains thread tiles to WMMA 16x16x16 fragments.
   and :class:`ScheduleConfig` (one point of the space).
 * :mod:`repro.schedule.sketch` — sketch-generation rules: workload ->
   space.
-* :mod:`repro.schedule.sampler` — random initial schedules.
-* :mod:`repro.schedule.mutate` — GA mutation / crossover operators.
-* :mod:`repro.schedule.lower`  — lowering to :class:`LoweredProgram`
-  (tile structure + dataflow blocks used by symbols, features and the
-  device simulator).
+* :mod:`repro.schedule.sampler` — random initial schedules (batched).
+* :mod:`repro.schedule.mutate` — GA mutation / crossover operators
+  (batched, over factor matrices).
+* :mod:`repro.schedule.lower`  — scalar lowering to
+  :class:`LoweredProgram` (tile structure + dataflow blocks used by
+  symbols, features and the device simulator).
+* :mod:`repro.schedule.batch`  — the structure-of-arrays pipeline:
+  :class:`ConfigBatch`, :func:`lower_batch` and :class:`CandidateBatch`
+  (packed per-candidate arrays the whole search hot path runs on).
 """
 
 from repro.schedule.space import ScheduleConfig, ScheduleSpace, count_factorizations
 from repro.schedule.sketch import generate_sketch
-from repro.schedule.sampler import random_config, sample_factorization
+from repro.schedule.sampler import random_config, random_population, sample_factorization
 from repro.schedule.mutate import crossover, mutate
 from repro.schedule.lower import DataflowBlock, LoweredProgram, lower
+from repro.schedule.batch import CandidateBatch, ConfigBatch, lower_batch
 
 __all__ = [
     "ScheduleConfig",
@@ -30,10 +35,14 @@ __all__ = [
     "count_factorizations",
     "generate_sketch",
     "random_config",
+    "random_population",
     "sample_factorization",
     "mutate",
     "crossover",
     "lower",
+    "lower_batch",
     "LoweredProgram",
     "DataflowBlock",
+    "ConfigBatch",
+    "CandidateBatch",
 ]

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.cache import register_lru
 from repro.errors import LoweringError
 from repro.ir.ops import Workload
 from repro.schedule.space import ScheduleConfig, ScheduleSpace
@@ -113,6 +114,9 @@ def _lower_cached(space: ScheduleSpace, config: ScheduleConfig) -> LoweredProgra
     if space.workload.is_tiled:
         return _lower_tiled(space, config)
     return _lower_flat(space, config)
+
+
+register_lru("schedule.lower._lower_cached", _lower_cached)
 
 
 def _lower_tiled(space: ScheduleSpace, config: ScheduleConfig) -> LoweredProgram:

@@ -4,88 +4,208 @@ These are the ``SchMutation`` operators of the paper's Algorithm 2:
 tiling-factor transformations of for-loops, plus annotation flips.  The
 same operators serve both Ansor's evolutionary search and Pruner's LSE
 (which differs only in the fitness function guiding selection).
+
+Both operators are batched: they take and return
+:class:`~repro.schedule.batch.ConfigBatch` factor tensors and apply
+each mutation kind to its whole sub-group with numpy fancy indexing, so
+a GA generation costs a handful of array ops instead of ``population``
+Python calls.  Mutation kinds (chosen per candidate at random):
+
+* resample one axis factorization from scratch,
+* swap two factors within an axis,
+* move a prime factor between tile levels of an axis,
+* flip the unroll / vectorize / splitK annotation.
+
+The scalar :func:`mutate` / :func:`crossover` remain as thin wrappers
+delegating to the batch path with ``n == 1``.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from repro.schedule.sampler import sample_axis
+from repro.cache import register_lru
+from repro.schedule.batch import ConfigBatch, space_plan, tensorcore_ok
+from repro.schedule.sampler import sample_axis_batch
 from repro.schedule.space import ScheduleConfig, ScheduleSpace
 
 
-def _swap_two_factors(
-    rng: np.random.Generator, factors: tuple[int, ...]
-) -> tuple[int, ...]:
-    """Swap two positions of a factor tuple (preserves the product)."""
-    if len(factors) < 2:
-        return factors
-    i, j = rng.choice(len(factors), size=2, replace=False)
-    out = list(factors)
-    out[i], out[j] = out[j], out[i]
-    return tuple(out)
+@lru_cache(maxsize=16384)
+def _smallest_prime_factor(n: int) -> int:
+    p = 2
+    while n % p != 0:
+        p += 1
+    return p
+
+
+register_lru("schedule.mutate._smallest_prime_factor", _smallest_prime_factor)
+
+
+def _spf_array(values: np.ndarray) -> np.ndarray:
+    """Smallest prime factor of each value (values must be > 1)."""
+    out = np.empty_like(values)
+    for v in np.unique(values):
+        out[values == v] = _smallest_prime_factor(int(v))
+    return out
 
 
 def _move_factor(
     rng: np.random.Generator, factors: tuple[int, ...]
 ) -> tuple[int, ...]:
-    """Move a prime factor from one position to another (product-preserving)."""
+    """Move a prime factor between two positions (product-preserving).
+
+    Scalar helper for neighbourhood-based baselines (Felix's local
+    descent); the GA itself uses the batched move inside
+    :func:`mutate_batch`.
+    """
+    if len(factors) < 2:
+        return factors
     donors = [i for i, f in enumerate(factors) if f > 1]
     if not donors:
         return factors
     i = int(rng.choice(donors))
     j = int(rng.choice([p for p in range(len(factors)) if p != i]))
-    f = factors[i]
-    # smallest prime factor of f
-    p = 2
-    while f % p != 0:
-        p += 1
+    p = _smallest_prime_factor(factors[i])
     out = list(factors)
     out[i] //= p
     out[j] *= p
     return tuple(out)
 
 
+def mutate_batch(
+    batch: ConfigBatch, space: ScheduleSpace, rng: np.random.Generator
+) -> ConfigBatch:
+    """Return a mutated copy of every candidate, all still inside ``space``.
+
+    TensorCore candidates whose swap/move broke the fragment constraint
+    are repaired like the scalar operator: revert to the original row
+    and resample one random axis with the constraint-preserving sampler.
+    """
+    plan = space_plan(space)
+    splits = space.splits
+    n = len(batch)
+    factors = batch.factors.copy()
+    unroll = batch.unroll.copy()
+    vector = batch.vector.copy()
+    splitk = batch.splitk.copy()
+
+    kind = rng.random(n)
+    # One axis choice per candidate; annotation rows simply ignore theirs.
+    axis_choice = rng.integers(0, plan.n_axes, size=n)
+
+    # ----- resample one axis from scratch -----
+    g0 = kind < 0.45
+    for a in np.unique(axis_choice[g0]):
+        rows = np.flatnonzero(g0 & (axis_choice == a))
+        parts = splits[a].parts
+        factors[rows, a, :parts] = sample_axis_batch(rng, space, splits[a], len(rows))
+
+    # ----- swap two factors within an axis (product-preserving) -----
+    g1 = (kind >= 0.45) & (kind < 0.65)
+    for a in np.unique(axis_choice[g1]):
+        parts = splits[a].parts
+        if parts < 2:
+            continue  # nothing to swap
+        rows = np.flatnonzero(g1 & (axis_choice == a))
+        i = rng.integers(0, parts, size=len(rows))
+        j = (i + rng.integers(1, parts, size=len(rows))) % parts
+        fi = factors[rows, a, i].copy()
+        factors[rows, a, i] = factors[rows, a, j]
+        factors[rows, a, j] = fi
+
+    # ----- move a smallest-prime factor between levels -----
+    g2 = (kind >= 0.65) & (kind < 0.85)
+    for a in np.unique(axis_choice[g2]):
+        parts = splits[a].parts
+        if parts < 2:
+            continue  # no destination level exists
+        rows = np.flatnonzero(g2 & (axis_choice == a))
+        sub = factors[rows, a, :parts]
+        donors = sub > 1
+        counts = donors.sum(axis=1)
+        has = counts > 0
+        if not has.any():
+            continue
+        rows = rows[has]
+        sub = sub[has]
+        pick = rng.integers(0, counts[has])  # which donor position (by rank)
+        donor = np.argmax(donors[has].cumsum(axis=1) == (pick + 1)[:, None], axis=1)
+        dest = rng.integers(0, parts - 1, size=len(rows))
+        dest = dest + (dest >= donor)  # uniform over positions != donor
+        p = _spf_array(sub[np.arange(len(rows)), donor])
+        factors[rows, a, donor] //= p
+        factors[rows, a, dest] *= p
+
+    # ----- annotation flips -----
+    g3 = np.flatnonzero(kind >= 0.85)
+    if len(g3):
+        choice = rng.random(len(g3))
+        u_rows = g3[choice < 0.5]
+        unroll[u_rows] = plan.unroll_options[
+            rng.integers(0, len(plan.unroll_options), size=len(u_rows))
+        ]
+        v_rows = g3[(choice >= 0.5) & (choice < 0.8)]
+        vector[v_rows] = plan.vector_options[
+            rng.integers(0, len(plan.vector_options), size=len(v_rows))
+        ]
+        s_rows = g3[choice >= 0.8]
+        splitk[s_rows] = plan.splitk_options[
+            rng.integers(0, len(plan.splitk_options), size=len(s_rows))
+        ]
+
+    # ----- TensorCore repair (swap/move can break fragment alignment) -----
+    if space.tensorcore:
+        bad = np.flatnonzero(~tensorcore_ok(plan, factors))
+        if len(bad):
+            factors[bad] = batch.factors[bad]  # revert to the valid original
+            repair_axis = rng.integers(0, plan.n_axes, size=len(bad))
+            for a in np.unique(repair_axis):
+                rows = bad[repair_axis == a]
+                parts = splits[a].parts
+                factors[rows, a, :parts] = sample_axis_batch(
+                    rng, space, splits[a], len(rows)
+                )
+
+    return ConfigBatch(space, factors, unroll, vector, splitk)
+
+
+def crossover_pairs(
+    batch: ConfigBatch,
+    left: np.ndarray,
+    right: np.ndarray,
+    space: ScheduleSpace,
+    rng: np.random.Generator,
+) -> ConfigBatch:
+    """Uniform crossover of ``len(left)`` parent pairs drawn from ``batch``.
+
+    Each axis / annotation is inherited wholesale from either parent, so
+    children stay valid by construction (TensorCore constraints are
+    per-axis).
+    """
+    plan = space_plan(space)
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    m = len(left)
+    from_left = rng.random((m, plan.n_axes)) < 0.5
+    factors = np.where(
+        from_left[:, :, None], batch.factors[left], batch.factors[right]
+    )
+    unroll = np.where(rng.random(m) < 0.5, batch.unroll[left], batch.unroll[right])
+    vector = np.where(rng.random(m) < 0.5, batch.vector[left], batch.vector[right])
+    splitk = np.where(rng.random(m) < 0.5, batch.splitk[left], batch.splitk[right])
+    return ConfigBatch(space, factors, unroll, vector, splitk)
+
+
+# ----------------------------------------------------------------------
+# scalar wrappers (delegate to the batch path with n == 1)
+# ----------------------------------------------------------------------
 def mutate(
     config: ScheduleConfig, space: ScheduleSpace, rng: np.random.Generator
 ) -> ScheduleConfig:
-    """Return a mutated copy of ``config`` that is still inside ``space``.
-
-    Mutation kinds (chosen at random):
-
-    * resample one axis factorization from scratch,
-    * swap two factors within an axis,
-    * move a prime factor between tile levels of an axis,
-    * flip the unroll / vectorize / splitK annotation.
-    """
-    kind = rng.random()
-    splits = space.splits
-    if kind < 0.45:  # resample one axis
-        s = splits[int(rng.integers(len(splits)))]
-        mutated = config.with_tile(s.axis, sample_axis(rng, space, s))
-    elif kind < 0.65:  # swap factors
-        s = splits[int(rng.integers(len(splits)))]
-        mutated = config.with_tile(s.axis, _swap_two_factors(rng, config.factors(s.axis)))
-    elif kind < 0.85:  # move a prime between levels
-        s = splits[int(rng.integers(len(splits)))]
-        mutated = config.with_tile(s.axis, _move_factor(rng, config.factors(s.axis)))
-    else:  # annotation flip
-        choice = rng.random()
-        if choice < 0.5:
-            mutated = config.with_annotations(unroll=int(rng.choice(space.unroll_options)))
-        elif choice < 0.8:
-            mutated = config.with_annotations(vector=int(rng.choice(space.vector_options)))
-        else:
-            mutated = config.with_annotations(splitk=int(rng.choice(space.splitk_options)))
-    try:
-        space.validate(mutated)
-    except Exception:
-        # TensorCore swaps/moves can break the fragment constraint;
-        # fall back to a fresh resample of that axis.
-        s = splits[int(rng.integers(len(splits)))]
-        mutated = config.with_tile(s.axis, sample_axis(rng, space, s))
-        space.validate(mutated)
-    return mutated
+    """Return a mutated copy of ``config`` that is still inside ``space``."""
+    return mutate_batch(ConfigBatch.from_configs(space, [config]), space, rng).config(0)
 
 
 def crossover(
@@ -95,15 +215,7 @@ def crossover(
     rng: np.random.Generator,
 ) -> ScheduleConfig:
     """Uniform crossover: each axis / annotation inherited from either parent."""
-    tile_map = {}
-    for s in space.splits:
-        parent = a if rng.random() < 0.5 else b
-        tile_map[s.axis] = parent.factors(s.axis)
-    child = ScheduleConfig.from_map(
-        tile_map,
-        unroll=(a if rng.random() < 0.5 else b).unroll,
-        vector=(a if rng.random() < 0.5 else b).vector,
-        splitk=(a if rng.random() < 0.5 else b).splitk,
-    )
-    space.validate(child)
-    return child
+    parents = ConfigBatch.from_configs(space, [a, b])
+    return crossover_pairs(
+        parents, np.array([0]), np.array([1]), space, rng
+    ).config(0)

@@ -5,83 +5,141 @@ divisors — the same scheme Ansor uses to seed its evolutionary search.
 TensorCore spaces are sampled on the quotient space ``extent / 16`` and
 the WMMA edge is re-attached to the innermost factor, so every sample
 satisfies the fragment constraint by construction.
+
+The implementation is batched: :func:`sample_factorizations` draws a
+whole ``(n, parts)`` factor matrix at once (grouping candidates by
+their remaining quotient so each group is one vectorized divisor draw),
+and :func:`random_batch` assembles entire populations as
+:class:`~repro.schedule.batch.ConfigBatch` factor tensors.  The scalar
+entry points (:func:`sample_factorization`, :func:`random_config`) are
+thin wrappers over the batch path with ``n == 1``.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from repro.schedule.space import WMMA, WMMA_LANE, AxisSplit, ScheduleConfig, ScheduleSpace, divisors
+from repro.cache import register_lru
+from repro.schedule.batch import MAX_PARTS, ConfigBatch, space_plan
+from repro.schedule.space import (
+    WMMA,
+    WMMA_LANE,
+    AxisSplit,
+    ScheduleConfig,
+    ScheduleSpace,
+    divisors,
+)
 
 
-def sample_factorization(
-    rng: np.random.Generator, extent: int, parts: int
-) -> tuple[int, ...]:
-    """Sample an ordered factorization of ``extent`` into ``parts`` factors."""
-    factors = []
-    remaining = extent
-    for _ in range(parts - 1):
-        d = int(rng.choice(divisors(remaining)))
-        factors.append(d)
-        remaining //= d
-    factors.append(remaining)
-    return tuple(factors)
+@lru_cache(maxsize=4096)
+def _divisor_array(n: int) -> np.ndarray:
+    """Divisors of ``n`` as an int64 array (memoized)."""
+    return np.asarray(divisors(n), dtype=np.int64)
 
 
-def _sample_tensorcore_spatial(
-    rng: np.random.Generator, split: AxisSplit
-) -> tuple[int, ...]:
-    """Spatial matrix dim: per-lane tile must be a fragment-share multiple."""
-    base = sample_factorization(rng, split.extent // WMMA_LANE, split.parts)
-    f = list(base)
-    f[-1] *= WMMA_LANE  # attach the per-lane fragment share innermost
-    return tuple(f)
+register_lru("schedule.sampler._divisor_array", _divisor_array)
 
 
-def _sample_tensorcore_reduction(
-    rng: np.random.Generator, split: AxisSplit
-) -> tuple[int, ...]:
-    """Reduction dim: chunk (k1*k2) must be a WMMA multiple."""
-    base = sample_factorization(rng, split.extent // WMMA, split.parts)
-    f = list(base)
-    f[-1] *= WMMA
-    return tuple(f)
+def sample_factorizations(
+    rng: np.random.Generator, extent: int, parts: int, n: int
+) -> np.ndarray:
+    """Sample ``n`` ordered factorizations of ``extent``: shape ``(n, parts)``.
+
+    Each row follows the uniform divisor-chain scheme of the scalar
+    sampler; rows sharing a remaining quotient are drawn together in one
+    vectorized choice per distinct quotient value.
+    """
+    out = np.ones((n, parts), dtype=np.int64)
+    remaining = np.full(n, extent, dtype=np.int64)
+    for p in range(parts - 1):
+        for value in np.unique(remaining):
+            if value == 1:
+                continue  # only divisor is 1; nothing to draw
+            divs = _divisor_array(int(value))
+            mask = remaining == value
+            picks = divs[rng.integers(0, len(divs), size=int(mask.sum()))]
+            out[mask, p] = picks
+            remaining[mask] //= picks
+    out[:, parts - 1] = remaining
+    return out
 
 
-def sample_axis(
-    rng: np.random.Generator, space: ScheduleSpace, split: AxisSplit
-) -> tuple[int, ...]:
-    """Sample factors for one axis, honouring TensorCore constraints."""
+def sample_axis_batch(
+    rng: np.random.Generator, space: ScheduleSpace, split: AxisSplit, n: int
+) -> np.ndarray:
+    """Sample ``n`` factorizations for one axis, honouring TensorCore rules."""
     if space.tensorcore:
         matrix_axes = {s.axis for s in space.spatial_splits[-2:]}
         if split.axis in matrix_axes:
-            return _sample_tensorcore_spatial(rng, split)
+            # per-lane tile must be a fragment-share multiple
+            out = sample_factorizations(rng, split.extent // WMMA_LANE, split.parts, n)
+            out[:, -1] *= WMMA_LANE
+            return out
         if space.reduction_splits and split.axis == space.reduction_splits[0].axis:
-            return _sample_tensorcore_reduction(rng, split)
-    return sample_factorization(rng, split.extent, split.parts)
+            # reduction chunk (k1*k2) must be a WMMA multiple
+            out = sample_factorizations(rng, split.extent // WMMA, split.parts, n)
+            out[:, -1] *= WMMA
+            return out
+    return sample_factorizations(rng, split.extent, split.parts, n)
 
 
-def random_config(space: ScheduleSpace, rng: np.random.Generator) -> ScheduleConfig:
-    """Sample one uniformly random schedule configuration from ``space``."""
-    tile_map = {s.axis: sample_axis(rng, space, s) for s in space.splits}
-    config = ScheduleConfig.from_map(
-        tile_map,
-        unroll=int(rng.choice(space.unroll_options)),
-        vector=int(rng.choice(space.vector_options)),
-        splitk=int(rng.choice(space.splitk_options)),
-    )
-    space.validate(config)
-    return config
+def _draw_batch(
+    space: ScheduleSpace, rng: np.random.Generator, n: int
+) -> ConfigBatch:
+    """Draw ``n`` random candidates (no dedup) as a ConfigBatch."""
+    plan = space_plan(space)
+    factors = np.ones((n, plan.n_axes, MAX_PARTS), dtype=np.int64)
+    for a, split in enumerate(space.splits):
+        factors[:, a, : split.parts] = sample_axis_batch(rng, space, split, n)
+    unroll = plan.unroll_options[rng.integers(0, len(plan.unroll_options), size=n)]
+    vector = plan.vector_options[rng.integers(0, len(plan.vector_options), size=n)]
+    splitk = plan.splitk_options[rng.integers(0, len(plan.splitk_options), size=n)]
+    return ConfigBatch(space, factors, unroll, vector, splitk)
+
+
+def random_batch(
+    space: ScheduleSpace, rng: np.random.Generator, size: int
+) -> ConfigBatch:
+    """Sample ``size`` distinct candidates (may return fewer for tiny spaces).
+
+    Mirrors the scalar rejection loop: keep drawing until ``size``
+    unique candidates are collected or ``size * 10`` draws are spent.
+    """
+    collected = _draw_batch(space, rng, 0)  # empty, correctly shaped
+    attempts = 0
+    while attempts < size * 10:
+        need = size - len(collected)
+        if need <= 0:
+            break
+        drawn = _draw_batch(space, rng, need)
+        attempts += need
+        collected = ConfigBatch.concat([collected, drawn]).unique()
+    return collected
 
 
 def random_population(
     space: ScheduleSpace, rng: np.random.Generator, size: int
 ) -> list[ScheduleConfig]:
     """Sample ``size`` schedules, deduplicated (may return fewer for tiny spaces)."""
-    seen: dict[str, ScheduleConfig] = {}
-    attempts = 0
-    while len(seen) < size and attempts < size * 10:
-        cfg = random_config(space, rng)
-        seen.setdefault(cfg.key, cfg)
-        attempts += 1
-    return list(seen.values())
+    return random_batch(space, rng, size).configs()
+
+
+def random_config(space: ScheduleSpace, rng: np.random.Generator) -> ScheduleConfig:
+    """Sample one uniformly random schedule configuration from ``space``."""
+    return _draw_batch(space, rng, 1).config(0)
+
+
+def sample_factorization(
+    rng: np.random.Generator, extent: int, parts: int
+) -> tuple[int, ...]:
+    """Sample one ordered factorization of ``extent`` into ``parts`` factors."""
+    return tuple(int(f) for f in sample_factorizations(rng, extent, parts, 1)[0])
+
+
+def sample_axis(
+    rng: np.random.Generator, space: ScheduleSpace, split: AxisSplit
+) -> tuple[int, ...]:
+    """Sample factors for one axis, honouring TensorCore constraints."""
+    return tuple(int(f) for f in sample_axis_batch(rng, space, split, 1)[0])

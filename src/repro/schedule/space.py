@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
+from functools import cached_property, lru_cache
 
+from repro.cache import register_lru
 from repro.errors import ScheduleError
 from repro.ir.ops import Workload
 
@@ -64,6 +65,10 @@ def count_factorizations(extent: int, parts: int) -> int:
     if n > 1:
         count *= math.comb(1 + parts - 1, parts - 1)
     return count
+
+
+register_lru("schedule.space.divisors", divisors)
+register_lru("schedule.space.count_factorizations", count_factorizations)
 
 
 @dataclass(frozen=True)
@@ -233,9 +238,13 @@ class ScheduleConfig:
             splitk=self.splitk if splitk is None else splitk,
         )
 
-    @property
+    @cached_property
     def key(self) -> str:
-        """Stable identity string (for hashing and record files)."""
+        """Stable identity string (for hashing and record files).
+
+        Cached per instance: the search hot path asks for keys of the
+        same elite / drafted configs across many rounds.
+        """
         tiles = ";".join(f"{a}:{'x'.join(map(str, f))}" for a, f in self.tiles)
         return f"{tiles}|u{self.unroll}|v{self.vector}|s{self.splitk}"
 

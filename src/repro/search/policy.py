@@ -5,6 +5,12 @@ search whose fitness is the *learned cost model*, evaluated on **every**
 explored candidate each generation.  That inference volume is exactly
 the "Exploration" cost of the paper's Table 1 — and what Pruner's
 draft-then-verify policy (:mod:`repro.search.pruner_policy`) eliminates.
+
+Both policies run on the batched candidate pipeline: populations are
+:class:`~repro.schedule.batch.ConfigBatch` factor tensors, lowering and
+scoring are single array calls (``lower_batch`` / ``predict_batch``),
+and :class:`~repro.schedule.space.ScheduleConfig` objects are only
+materialized for the few candidates that reach the measurement batch.
 """
 
 from __future__ import annotations
@@ -14,11 +20,12 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.config import SearchConfig
-from repro.core.analyzer import is_launchable
+from repro.core.analyzer import is_launchable_mask
 from repro.costmodel.base import CostModel
-from repro.schedule.lower import LoweredProgram, lower
-from repro.schedule.mutate import crossover, mutate
-from repro.schedule.sampler import random_population
+from repro.schedule.batch import CandidateBatch, ConfigBatch, lower_batch
+from repro.schedule.lower import LoweredProgram
+from repro.schedule.mutate import crossover_pairs, mutate_batch
+from repro.schedule.sampler import random_batch
 from repro.schedule.space import ScheduleConfig
 from repro.search.records import RecordLog
 from repro.search.task import TuningTask
@@ -49,56 +56,70 @@ class SearchPolicy(ABC):
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
-    def _lower_valid(self, configs: list[ScheduleConfig]) -> list[LoweredProgram]:
-        progs = [lower(self.task.space, c) for c in configs]
-        return [p for p in progs if is_launchable(p, self.task.device)]
+    def _lower_valid_batch(
+        self, configs: ConfigBatch | list[ScheduleConfig]
+    ) -> CandidateBatch:
+        """Lower a batch and keep only launchable candidates."""
+        lowered = lower_batch(self.task.space, configs)
+        return lowered.take(is_launchable_mask(lowered, self.task.device))
 
     def _select_top(
         self,
-        progs: list[LoweredProgram],
+        batch: CandidateBatch | ConfigBatch,
         scores: np.ndarray,
         records: RecordLog,
         rng: np.random.Generator,
     ) -> list[LoweredProgram]:
-        """Pick the measurement batch: greedy top + epsilon random."""
+        """Pick the measurement batch: greedy top + epsilon random.
+
+        With ``eps_greedy > 0`` at least one slot is always random (for
+        ``k > 1``): small measurement rounds used to round the epsilon
+        share down to zero and silently disable exploration.
+        """
         k = self.search.measure_per_round
         n_random = max(0, int(round(k * self.search.eps_greedy)))
+        if self.search.eps_greedy > 0 and k > 1 and n_random == 0:
+            n_random = 1
+        keys = batch.keys()
         order = np.argsort(-np.asarray(scores))
-        picked: list[LoweredProgram] = []
+        picked: list[int] = []
         seen: set[str] = set()
         for i in order:
-            prog = progs[int(i)]
-            key = prog.config.key
+            key = keys[int(i)]
             if key in seen or records.already_measured(self.task.key, key):
                 continue
             seen.add(key)
-            picked.append(prog)
+            picked.append(int(i))
             if len(picked) >= k - n_random:
                 break
         if n_random:
             pool = [
-                p
-                for p in progs
-                if p.config.key not in seen
-                and not records.already_measured(self.task.key, p.config.key)
+                i
+                for i, key in enumerate(keys)
+                if key not in seen
+                and not records.already_measured(self.task.key, key)
             ]
             if pool:
                 extra = rng.choice(len(pool), size=min(n_random, len(pool)), replace=False)
                 picked += [pool[int(i)] for i in extra]
-        return picked[:k]
+        return [batch.program(i) for i in picked[:k]]
 
     def _seeded_population(
         self, records: RecordLog, rng: np.random.Generator
-    ) -> list[ScheduleConfig]:
+    ) -> ConfigBatch:
         """Initial GA population: random + mutations of measured bests."""
         space = self.task.space
-        population = random_population(space, rng, self.search.population)
+        population = random_batch(space, rng, self.search.population)
         seeds = records.best_configs(self.task.key, k=8)
-        for prog in seeds:
-            population.append(prog.config)
-            for _ in range(max(1, self.search.population // 16)):
-                population.append(mutate(prog.config, space, rng))
-        return population[: self.search.population + len(seeds) * 4]
+        if not seeds:
+            return population
+        seed_batch = ConfigBatch.from_configs(space, [p.config for p in seeds])
+        parts = [population, seed_batch]
+        for _ in range(max(1, self.search.population // 16)):
+            parts.append(mutate_batch(seed_batch, space, rng))
+        merged = ConfigBatch.concat(parts)
+        cap = self.search.population + len(seeds) * 4
+        return merged.take(np.arange(min(len(merged), cap)))
 
 
 class AnsorPolicy(SearchPolicy):
@@ -115,51 +136,74 @@ class AnsorPolicy(SearchPolicy):
     ) -> list[LoweredProgram]:
         space = self.task.space
         population = self._seeded_population(records, rng)
-        pool: dict[str, tuple[LoweredProgram, float]] = {}
 
         if len(records) == 0:
             # Cold start: no trained model; measure random candidates.
-            progs = self._lower_valid(population)
-            scores = rng.random(len(progs))
-            return self._select_top(progs, scores, records, rng)
+            batch = self._lower_valid_batch(population)
+            scores = rng.random(len(batch))
+            return self._select_top(batch, scores, records, rng)
 
+        pool_batches: list[ConfigBatch] = []
+        pool_scores: list[np.ndarray] = []
         for _ in range(self.search.ga_steps):
-            progs = self._lower_valid(population)
-            if not progs:
-                population = random_population(space, rng, self.search.population)
+            batch = self._lower_valid_batch(population)
+            if not len(batch):
+                population = random_batch(space, rng, self.search.population)
                 continue
             # Ansor applies the learned model to *all* explored candidates.
             self.clock.charge_inference(
-                self.model.feature_kind, self.model.kind, len(progs)
+                self.model.feature_kind, self.model.kind, len(batch)
             )
-            scores = self.model.predict(progs)
-            for prog, score in zip(progs, scores):
-                pool[prog.config.key] = (prog, float(score))
-            population = self._evolve(progs, scores, rng)
+            scores = self.model.predict_batch(batch)
+            assert batch.configs is not None
+            pool_batches.append(batch.configs)
+            pool_scores.append(scores)
+            population = self._evolve(batch.configs, scores, rng)
 
-        ranked = sorted(pool.values(), key=lambda t: t[1], reverse=True)
-        progs = [p for p, _ in ranked]
-        scores = np.array([s for _, s in ranked])
-        return self._select_top(progs, scores, records, rng)
+        if not pool_batches:
+            return []
+        pooled = ConfigBatch.concat(pool_batches)
+        scores = np.concatenate(pool_scores)
+        # Deduplicate (model scores are deterministic, so first == any)
+        # and rank best-first, like the scalar selection pool did.
+        _, first = np.unique(pooled.row_ids(), return_index=True)
+        first = np.sort(first)
+        pooled, scores = pooled.take(first), scores[first]
+        order = np.argsort(-scores, kind="stable")
+        # Every pooled candidate already passed the launchability mask;
+        # selection only needs keys + per-pick materialization, so the
+        # ConfigBatch is enough — no second lowering pass over the pool.
+        return self._select_top(pooled.take(order), scores[order], records, rng)
 
     def _evolve(
         self,
-        progs: list[LoweredProgram],
+        population: ConfigBatch,
         scores: np.ndarray,
         rng: np.random.Generator,
-    ) -> list[ScheduleConfig]:
+    ) -> ConfigBatch:
         space = self.task.space
+        n = len(population)
         order = np.argsort(-scores)
-        elite = [progs[int(i)].config for i in order[: max(2, len(progs) // 8)]]
-        ranks = np.empty(len(progs))
-        ranks[order] = np.arange(len(progs))
-        weights = np.exp(-ranks / max(1.0, len(progs) / 4.0))
+        elite = population.take(order[: max(2, n // 8)])
+        ranks = np.empty(n)
+        ranks[order] = np.arange(n)
+        weights = np.exp(-ranks / max(1.0, n / 4.0))
         weights /= weights.sum()
-        children = list(elite)
-        while len(children) < self.search.population:
-            i, j = rng.choice(len(progs), size=2, p=weights)
-            child = crossover(progs[int(i)].config, progs[int(j)].config, space, rng)
-            if rng.random() < self.search.mutation_prob:
-                child = mutate(child, space, rng)
-            children.append(child)
-        return children
+        n_children = max(0, self.search.population - len(elite))
+        if not n_children:
+            return elite
+        parents = rng.choice(n, size=(n_children, 2), p=weights)
+        children = crossover_pairs(population, parents[:, 0], parents[:, 1], space, rng)
+        mutate_mask = rng.random(n_children) < self.search.mutation_prob
+        if mutate_mask.any():
+            mutated = mutate_batch(children.take(mutate_mask), space, rng)
+            keep = children.take(~mutate_mask)
+            merged = ConfigBatch.concat([keep, mutated])
+            restore = np.empty(n_children, dtype=np.int64)
+            restore[np.flatnonzero(~mutate_mask)] = np.arange(len(keep))
+            restore[np.flatnonzero(mutate_mask)] = len(keep) + np.arange(len(mutated))
+            children = merged.take(restore)
+        return ConfigBatch.concat([elite, children])
+
+
+__all__ = ["SearchPolicy", "AnsorPolicy"]

@@ -13,6 +13,10 @@ Per tuning round:
 
 The inference reduction is charged on the simulated clock, which is
 where the paper's compilation-time savings (Tables 1 and 7) come from.
+
+Both stages run on the batched pipeline: the draft GA operates on
+factor tensors end to end, and the verify stage is one
+``lower_batch`` + ``predict_batch`` call over the drafted set.
 """
 
 from __future__ import annotations
@@ -23,8 +27,9 @@ from repro.config import SearchConfig
 from repro.core.analyzer import SymbolBasedAnalyzer
 from repro.core.lse import LatentScheduleExplorer
 from repro.costmodel.base import CostModel
+from repro.schedule.batch import ConfigBatch
 from repro.schedule.lower import LoweredProgram
-from repro.schedule.sampler import random_population
+from repro.schedule.sampler import random_batch
 from repro.search.policy import SearchPolicy
 from repro.search.records import RecordLog
 from repro.search.task import TuningTask
@@ -56,12 +61,16 @@ class PrunerPolicy(SearchPolicy):
         result = self.explorer.explore(space, rng, seeds=seeds)
         self.clock.charge_sa(result.n_evals)
 
-        draft_configs = list(result.spec)
+        parts: list[ConfigBatch] = []
+        if result.spec:
+            parts.append(ConfigBatch.from_configs(space, result.spec))
         n_random = int(round(self.search.random_fraction * self.search.spec_size))
         if n_random:
-            draft_configs += random_population(space, rng, n_random)
-        draft = self._lower_valid(draft_configs)
-        if not draft:
+            parts.append(random_batch(space, rng, n_random))
+        if not parts:
+            return []
+        draft = self._lower_valid_batch(ConfigBatch.concat(parts))
+        if not len(draft):
             return []
 
         # ----- Verify: learned model over the drafted set only -----
@@ -69,11 +78,11 @@ class PrunerPolicy(SearchPolicy):
             # Cold start (pure online mode): the learned model is not
             # yet trained — rank by draft-model fitness.
             scores = np.array(
-                [result.fitness.get(p.config.key, -1e18) for p in draft]
+                [result.fitness.get(key, -1e18) for key in draft.keys()]
             )
         else:
             self.clock.charge_inference(
                 self.model.feature_kind, self.model.kind, len(draft)
             )
-            scores = self.model.predict(draft)
+            scores = self.model.predict_batch(draft)
         return self._select_top(draft, scores, records, rng)

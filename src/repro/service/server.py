@@ -18,6 +18,7 @@ import math
 from pathlib import Path
 
 from repro import api
+from repro.cache import clear_caches
 from repro.errors import ReproError, SearchError
 from repro.hardware.device import get_device
 from repro.search.records import TuningRecord
@@ -109,17 +110,27 @@ class TuningService:
         return {job.job_id: job.state.value for job in self.queue.jobs()}
 
     def _run_job(self, job: TuneJob) -> TuneResult:
-        return api.tune_network(
-            job.network,
-            device=job.device,
-            method=job.method,
-            rounds=job.rounds,
-            scale=job.scale,
-            batch=job.batch,
-            top_k_tasks=job.top_k_tasks,
-            seed=job.seed,
-            cache_dir=self.store.root,
-        )
+        try:
+            return api.tune_network(
+                job.network,
+                device=job.device,
+                method=job.method,
+                rounds=job.rounds,
+                scale=job.scale,
+                batch=job.batch,
+                top_k_tasks=job.top_k_tasks,
+                seed=job.seed,
+                cache_dir=self.store.root,
+            )
+        finally:
+            # Long-lived service processes must not accumulate per-task
+            # memo entries (lowering, symbols, feature rows) forever.
+            # Clear only when no other job is in flight: wiping the
+            # process-wide caches mid-drain would make concurrent jobs
+            # re-lower and re-encode work they already paid for.
+            counts = self.queue.counts()
+            if counts.get("running", 0) <= 1 and counts.get("pending", 0) == 0:
+                clear_caches()
 
     # ------------------------------------------------------------------
     # inspection

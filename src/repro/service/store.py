@@ -192,22 +192,55 @@ class RecordStore:
         except (OSError, json.JSONDecodeError):
             return {}
 
+    def _write_index(self, index: dict[str, dict]) -> None:
+        atomic_write_lines(
+            self._index_path(), [json.dumps(index, indent=2, sort_keys=True)]
+        )
+
     def _register(self, key: StoreKey) -> None:
         with file_lock(self._index_path()):
             index = self._read_index()
             if key.filename not in index:
                 index[key.filename] = asdict(key)
-                atomic_write_lines(
-                    self._index_path(),
-                    [json.dumps(index, indent=2, sort_keys=True)],
-                )
+                self._write_index(index)
+
+    @staticmethod
+    def _entry_key(entry: dict) -> StoreKey:
+        """StoreKey of one index entry (ignoring bookkeeping fields)."""
+        return StoreKey(
+            workload=entry["workload"],
+            device=entry["device"],
+            method=entry["method"],
+        )
 
     def keys(self) -> list[StoreKey]:
         """All store keys ever written to this root."""
         return sorted(
-            (StoreKey(**entry) for entry in self._read_index().values()),
+            (self._entry_key(entry) for entry in self._read_index().values()),
             key=lambda k: k.filename,
         )
+
+    def touch(self, key: StoreKey) -> None:
+        """Mark a key as just-used (drives LRU ordering in :meth:`compact`).
+
+        ``last_used`` is a monotonic counter (not wall time) stored in
+        the index, so ordering survives clock skew across workers.
+        """
+        with file_lock(self._index_path()):
+            index = self._read_index()
+            entry = index.setdefault(key.filename, asdict(key))
+            top = max(
+                (int(e.get("last_used", 0)) for e in index.values()), default=0
+            )
+            if top and int(entry.get("last_used", 0)) == top:
+                return  # already the most recent key: skip the rewrite
+            entry["last_used"] = 1 + top
+            self._write_index(index)
+
+    def last_used(self, key: StoreKey) -> int:
+        """The key's last-use counter (0 if never touched)."""
+        entry = self._read_index().get(key.filename, {})
+        return int(entry.get("last_used", 0))
 
     # ------------------------------------------------------------------
     # writing
@@ -285,6 +318,8 @@ class RecordStore:
                 out.append(TuningRecord.from_dict(row, space))
             except (ScheduleError, LoweringError, KeyError, TypeError, ValueError):
                 continue
+        if out:
+            self.touch(key)  # warm-start reads drive the LRU ordering
         return out
 
     def rows_by_task(self, key: StoreKey) -> dict[str, list[dict]]:
@@ -326,6 +361,97 @@ class RecordStore:
     def count(self, key: StoreKey) -> int:
         """Number of persisted rows for one key."""
         return len(self.load_rows(key))
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, max_rows: int) -> int:
+        """Size-cap eviction: keep at most ``max_rows`` rows store-wide.
+
+        Eviction policy (first ROADMAP cache-policy follow-on):
+
+        * the best finite-latency row of every ``(store key, task)`` is
+          always kept — a compacted store never forgets its best
+          schedules;
+        * the remaining budget goes to the other rows, preferring keys
+          with a more recent ``last_used`` stamp (see :meth:`touch`)
+          and, within a key, more recently appended rows;
+        * unparseable lines (torn writes, unknown schemas) are dropped
+          during the rewrite — they were never loadable evidence.
+
+        Files are rewritten atomically under the store lock.  Returns
+        the number of rows evicted.
+        """
+        if max_rows < 0:
+            raise ValueError(f"max_rows must be >= 0, got {max_rows}")
+        with self._lock:
+            index = self._read_index()  # one parse; last_used per entry
+            keys = self.keys()
+            raws: dict[str, list[str]] = {}  # filename -> parseable raw lines
+            keep: dict[str, set[int]] = {}  # filename -> positions to keep
+            evictable: list[tuple[int, int, str]] = []  # (recency, pos, file)
+            total = 0
+            for key in keys:
+                recency = int(index.get(key.filename, {}).get("last_used", 0))
+                lines: list[str] = []
+                best: dict[str, tuple[float, int]] = {}  # task -> (lat, pos)
+                for raw, row in iter_jsonl(self.path_for(key)):
+                    if row is None:
+                        continue
+                    pos = len(lines)
+                    lines.append(raw)
+                    task_key = row.get("task_key")
+                    try:
+                        latency = float(row.get("latency"))
+                    except (TypeError, ValueError):
+                        continue
+                    if not math.isfinite(latency) or not isinstance(task_key, str):
+                        continue
+                    if task_key not in best or latency < best[task_key][0]:
+                        best[task_key] = (latency, pos)
+                total += len(lines)
+                raws[key.filename] = lines
+                keep[key.filename] = {pos for _, pos in best.values()}
+                evictable.extend(
+                    (recency, pos, key.filename)
+                    for pos in range(len(lines))
+                    if pos not in keep[key.filename]
+                )
+            if total <= max_rows:
+                return 0
+            n_protected = sum(len(s) for s in keep.values())
+            budget = max(0, max_rows - n_protected)
+            # most-recently-used keys and most recent rows survive first
+            evictable.sort(key=lambda t: (t[0], t[1]), reverse=True)
+            for _, pos, filename in evictable[:budget]:
+                keep[filename].add(pos)
+            evicted = len(evictable) - min(budget, len(evictable))
+            if not evicted:
+                return 0
+            for key in keys:
+                lines = raws[key.filename]
+                kept = keep[key.filename]
+                if len(kept) == len(lines):
+                    continue
+                snapshot = set(lines)
+                kept_raws = {lines[p] for p in kept}
+                path = self.path_for(key)
+                # Re-read under the file lock: another process may have
+                # appended rows since the snapshot — those must survive
+                # the rewrite (eviction only applies to snapshot rows).
+                with file_lock(path):
+                    current = [
+                        raw for raw, row in iter_jsonl(path) if row is not None
+                    ]
+                    atomic_write_lines(
+                        path,
+                        [
+                            raw
+                            for raw in current
+                            if raw in kept_raws or raw not in snapshot
+                        ],
+                    )
+            return evicted
 
     def stats(self) -> list[dict]:
         """Per-key summary (for ``repro.service status`` / ``export``)."""

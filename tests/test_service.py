@@ -111,6 +111,65 @@ class TestRecordSerialization:
         assert all(entry["records"] == 1 for entry in stats)
 
 
+class TestCompaction:
+    def _two_task_setup(self, a100, rng):
+        tasks = make_tasks(
+            [
+                SubgraphTask(ops.matmul(128, 128, 128), 2),
+                SubgraphTask(ops.conv2d(1, 16, 14, 14, 32, 3), 1),
+            ],
+            a100,
+        )
+        return tasks
+
+    def test_compact_keeps_per_task_bests(self, a100, rng, tmp_path):
+        (t1, t2) = self._two_task_setup(a100, rng)
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([t1, t2], "pruner")
+        store.append(key, _records(t1, rng, [5e-3, 1e-3, 3e-3, math.inf]))
+        store.append(key, _records(t2, rng, [4e-3, 2e-3], start_round=10))
+        assert store.count(key) == 6
+        evicted = store.compact(max_rows=2)
+        assert evicted == 4
+        rows = store.load_rows(key)
+        assert len(rows) == 2  # only the two per-task bests survive
+        bests = store.best_rows(key)
+        assert float(bests[t1.key]["latency"]) == 1e-3
+        assert float(bests[t2.key]["latency"]) == 2e-3
+
+    def test_compact_noop_under_cap(self, matmul_task, rng, tmp_path):
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.append(key, _records(matmul_task, rng, [1e-3, 2e-3]))
+        assert store.compact(max_rows=10) == 0
+        assert store.count(key) == 2
+
+    def test_compact_prefers_recently_used_keys(self, matmul_task, rng, tmp_path):
+        store = RecordStore(tmp_path)
+        key_a = store_key_for_tasks([matmul_task], "pruner")
+        key_b = store_key_for_tasks([matmul_task], "ansor")
+        store.append(key_a, _records(matmul_task, rng, [1e-3, 2e-3, 3e-3]))
+        store.append(key_b, _records(matmul_task, rng, [1e-3, 2e-3, 3e-3]))
+        # reading key_b marks it as more recently used than key_a
+        store.load_records(key_b, {matmul_task.key: matmul_task.space})
+        assert store.last_used(key_b) > store.last_used(key_a)
+        evicted = store.compact(max_rows=4)
+        assert evicted == 2
+        # both keys keep their best; the extra budget went to key_b
+        assert store.count(key_b) > store.count(key_a)
+        assert store.best_row(key_a) is not None
+        assert store.best_row(key_b) is not None
+
+    def test_compact_survives_reload(self, matmul_task, rng, tmp_path):
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.append(key, _records(matmul_task, rng, [3e-3, 1e-3, 2e-3]))
+        store.compact(max_rows=1)
+        fresh = RecordStore(tmp_path)
+        loaded = fresh.load_records(key, {matmul_task.key: matmul_task.space})
+        assert [r.latency for r in loaded] == [1e-3]
+
+
 class TestRecordLogExtend:
     def test_extend_accepts_any_iterable(self, matmul_task, rng):
         records = _records(matmul_task, rng, [2e-3, 1e-3])
