@@ -57,7 +57,7 @@ from repro.schedule.sketch import generate_sketch
 from repro.search import AnsorPolicy, PrunerPolicy, Tuner, make_tasks
 from repro.search.records import TuningRecord
 from repro.search.task import TuningTask
-from repro.search.tuner import TuneResult
+from repro.search.tuner import ProgressFn, StopFn, TuneResult
 from repro.timemodel import SimClock
 from repro.workloads import network_tasks
 
@@ -269,6 +269,8 @@ def tune_subgraphs(
     rounds: int = 20,
     scale: str = "lite",
     cache_dir: str | Path | None = None,
+    progress: ProgressFn | None = None,
+    should_stop: StopFn | None = None,
     **kwargs,
 ) -> TuneResult:
     """Tune a set of subgraphs and return the result.
@@ -278,12 +280,18 @@ def tune_subgraphs(
     configs are not re-measured and count toward the run's trial budget
     (``rounds * measure_per_round``) — and this run's fresh records are
     written back for the next one.
+
+    ``progress`` and ``should_stop`` are forwarded to
+    :meth:`~repro.search.tuner.Tuner.tune`: per-round progress
+    callbacks and cooperative cancellation (the serving layer's job
+    control rides on these).  A stopped run still persists whatever it
+    measured.
     """
     resolve_method(method)
     search = kwargs.pop("search", None) or resolve_scale(scale)
     if cache_dir is None:
         tuner = build_tuner(method, subgraphs, device, search=search, **kwargs)
-        return tuner.tune(rounds)
+        return tuner.tune(rounds, progress=progress, should_stop=should_stop)
 
     from repro.service.store import RecordStore, store_key_for_tasks
 
@@ -304,7 +312,12 @@ def tune_subgraphs(
         tasks=tasks,
         **kwargs,
     )
-    result = tuner.tune(rounds, trial_budget=rounds * search.measure_per_round)
+    result = tuner.tune(
+        rounds,
+        trial_budget=rounds * search.measure_per_round,
+        progress=progress,
+        should_stop=should_stop,
+    )
     # seeded records sit at the front of the log and are already on
     # disk; persist only the fresh tail
     store.append(key, result.records.records[result.seeded_trials :])

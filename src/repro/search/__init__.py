@@ -18,7 +18,7 @@ from repro.search.records import RecordLog, TuningRecord
 from repro.search.policy import AnsorPolicy, SearchPolicy
 from repro.search.pruner_policy import PrunerPolicy
 from repro.search.task_scheduler import GradientTaskScheduler
-from repro.search.tuner import TuneResult, Tuner
+from repro.search.tuner import RoundProgress, TuneResult, Tuner
 
 __all__ = [
     "TuningTask",
@@ -31,4 +31,5 @@ __all__ = [
     "GradientTaskScheduler",
     "Tuner",
     "TuneResult",
+    "RoundProgress",
 ]

@@ -18,7 +18,7 @@ modes, matching the paper's experimental settings (Section 5):
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +42,40 @@ MIN_TRAIN_RECORDS = 4
 
 
 @dataclass
+class RoundProgress:
+    """Per-round progress snapshot handed to ``Tuner.tune`` callbacks.
+
+    ``round_index`` counts completed rounds (1-based); ``rounds`` is the
+    planned total, so consumers can render ``3/8`` without re-deriving
+    the plan.  ``latency`` mirrors the tuning curve (inf until every
+    task has a measured trial).
+    """
+
+    round_index: int
+    rounds: int
+    trials: int
+    latency: float
+    sim_time: float
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round_index,
+            "rounds": self.rounds,
+            "trials": self.trials,
+            "latency": self.latency if math.isfinite(self.latency) else None,
+            "sim_time": self.sim_time,
+        }
+
+
+#: Callback types for cooperative control of a tuning run: ``progress``
+#: is invoked after every completed round; ``should_stop`` is polled at
+#: round boundaries — returning True ends the run early (the serving
+#: layer's job cancellation rides on this).
+ProgressFn = Callable[[RoundProgress], None]
+StopFn = Callable[[], bool]
+
+
+@dataclass
 class TuneResult:
     """Outcome of one tuning run."""
 
@@ -52,6 +86,7 @@ class TuneResult:
     weights: dict[str, int]
     fixed_latency: float = 0.0  # untuned (element-wise) network part
     seeded_trials: int = 0  # records loaded from a store before tuning
+    stopped_early: bool = False  # should_stop() ended the run before plan
 
     @property
     def final_latency(self) -> float:
@@ -132,25 +167,53 @@ class Tuner:
                 self.seeded_trials = 0
 
     # ------------------------------------------------------------------
-    def tune(self, rounds: int, trial_budget: int | None = None) -> TuneResult:
+    def tune(
+        self,
+        rounds: int,
+        trial_budget: int | None = None,
+        progress: ProgressFn | None = None,
+        should_stop: StopFn | None = None,
+    ) -> TuneResult:
         """Run up to ``rounds`` tuning rounds and return the result.
 
         ``trial_budget`` caps the *total* number of logged trials,
         warm-start records included: once the log holds that many
         trials, remaining rounds are skipped.  A warm-started run whose
         cache already covers the budget therefore measures nothing new.
+
+        ``progress`` is called after every completed round with a
+        :class:`RoundProgress`; ``should_stop`` is polled before each
+        round, and a True return ends the run early with whatever was
+        found so far (``stopped_early`` is set on the result).  Both
+        run on the tuning thread — callbacks that block stall the run.
         """
         curve: list[CurvePoint] = []
-        for _ in range(rounds):
+        stopped = False
+        for i in range(rounds):
+            if should_stop is not None and should_stop():
+                stopped = True
+                break
             remaining = (
                 trial_budget - len(self.records) if trial_budget is not None else None
             )
             if remaining is not None and remaining <= 0:
                 break
             self.step(max_trials=remaining)
-            curve.append(self._curve_point())
+            point = self._curve_point()
+            curve.append(point)
+            if progress is not None:
+                progress(
+                    RoundProgress(
+                        round_index=i + 1,
+                        rounds=rounds,
+                        trials=point.trials,
+                        latency=point.latency,
+                        sim_time=point.sim_time,
+                    )
+                )
         if not curve:
-            # Fully warm-started: report the state the cache put us in.
+            # Fully warm-started (or stopped before round one): report
+            # the state the cache put us in.
             curve.append(self._curve_point())
         return TuneResult(
             curve=curve,
@@ -160,6 +223,7 @@ class Tuner:
             weights={t.key: t.weight for t in self.tasks},
             fixed_latency=self.fixed_latency,
             seeded_trials=self.seeded_trials,
+            stopped_early=stopped,
         )
 
     def step(self, max_trials: int | None = None) -> None:

@@ -1,0 +1,64 @@
+"""Tuning over the wire: HTTP front end + remote measurement workers.
+
+This package turns :class:`~repro.service.server.TuningService` into a
+deployable service.  One *server* process owns the source of truth —
+the job queue, the persistent record store, a crash-safe job ledger —
+and any number of *runner* processes on other machines do the actual
+tuning, leasing jobs over plain HTTP (stdlib only, no third-party
+dependencies on either side).
+
+Topology::
+
+    client SDK / curl                    runner fleet
+          |                                   |
+          v                                   v
+    +----------------- server process ------------------+
+    |  REST front end        worker protocol            |
+    |  POST /jobs            POST /lease                |
+    |  GET  /jobs/{id}       POST /lease/{id}/heartbeat |
+    |  GET  /jobs/{id}/result POST /lease/{id}/complete |
+    |  DELETE /jobs/{id}     POST /lease/{id}/fail      |
+    |  GET  /best, /healthz                             |
+    |        JobQueue  +  RecordStore  +  ledger        |
+    +---------------------------------------------------+
+
+Design notes
+------------
+* **Leases, not assignments** — a runner holds a job only while it
+  heartbeats (:mod:`repro.serve.protocol`).  Kill a runner mid-job and
+  the lease expires, the server requeues, another runner finishes it.
+* **Cancellation piggybacks on heartbeats** — ``DELETE /jobs/{id}``
+  flips a flag the runner sees on its next per-round beat; the tuning
+  loop stops at the round boundary (cooperative, within one round).
+* **Warm starts travel with the lease** — the server ships the store's
+  rows for the job's workload; the runner re-lowers them locally and
+  skips re-measuring known configs; fresh rows come back with the
+  result.
+* **Restart-safe** — submits, claims and finishes all flush the
+  ledger; a restarted server requeues what was in flight and still
+  serves past results.
+
+Modules: :mod:`~repro.serve.http` (stdlib JSON routing),
+:mod:`~repro.serve.protocol` (leases + wire forms),
+:mod:`~repro.serve.app` (endpoint handlers), :mod:`~repro.serve.client`
+(typed SDK), :mod:`~repro.serve.runner` (the fleet side),
+:mod:`~repro.serve.cli` (``python -m repro.serve server|runner``).
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.client import JobStatus, ServeClient, ServeError
+from repro.serve.http import make_server
+from repro.serve.protocol import PROTOCOL_VERSION, Lease, LeaseTable
+from repro.serve.runner import TuningRunner
+
+__all__ = [
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "JobStatus",
+    "make_server",
+    "Lease",
+    "LeaseTable",
+    "PROTOCOL_VERSION",
+    "TuningRunner",
+]

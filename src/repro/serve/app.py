@@ -1,0 +1,438 @@
+"""The serving application: REST front end + runner protocol handlers.
+
+:class:`ServeApp` puts :class:`~repro.service.server.TuningService`'s
+state on the wire.  The server process itself never tunes — it owns the
+source of truth (the :class:`~repro.service.jobs.JobQueue`, the
+:class:`~repro.service.store.RecordStore`, the job ledger) and a fleet
+of :mod:`repro.serve.runner` processes does the measuring.  All state
+survives restarts: the ledger and result summaries are re-read on
+startup, and jobs that were leased when the previous server died
+requeue automatically.
+
+Front-end endpoints (see :mod:`repro.serve.client` for the SDK):
+
+========  ==========================  =====================================
+POST      ``/jobs``                   submit a tuning job
+GET       ``/jobs``                   list all known jobs
+GET       ``/jobs/{id}``              status + per-round progress
+GET       ``/jobs/{id}/result``       result summary of a finished job
+DELETE    ``/jobs/{id}``              cancel (cooperative for running jobs)
+GET       ``/best``                   best persisted schedule of a workload
+GET       ``/healthz``                liveness + queue/lease counters
+POST      ``/lease``                  runner protocol: claim a job
+POST      ``/lease/{id}/heartbeat``   runner protocol: keep-alive + progress
+POST      ``/lease/{id}/complete``    runner protocol: deliver results
+POST      ``/lease/{id}/fail``        runner protocol: report an error
+========  ==========================  =====================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro import api
+from repro.errors import ReproError
+from repro.hardware.device import get_device
+from repro.serve.http import HttpError, route
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    LeaseTable,
+    wire_float,
+)
+from repro.service.jobs import TERMINAL_STATES, JobQueue, JobState
+from repro.service.server import LEDGER_NAME, TuningService
+from repro.service.store import (
+    StoreKey,
+    atomic_write_lines,
+    file_lock,
+    iter_jsonl,
+    store_key_for_tasks,
+)
+from repro.workloads import network_tasks
+
+RESULTS_NAME = "results.jsonl"
+
+#: Job-spec fields ``POST /jobs`` accepts (everything else is a 400 —
+#: a misspelled field must not silently become a default).
+_SUBMIT_FIELDS = frozenset(
+    {
+        "network",
+        "device",
+        "method",
+        "rounds",
+        "scale",
+        "batch",
+        "top_k_tasks",
+        "seed",
+        "priority",
+        "max_retries",
+    }
+)
+
+
+class ServeApp:
+    """HTTP-facing tuning service: job queue + record store on the wire.
+
+    Parameters
+    ----------
+    cache_dir:
+        Shared root: record store, job ledger, result summaries.  A
+        restarted server finds everything it needs here.
+    lease_ttl:
+        Seconds a runner may go silent before its lease expires and
+        the job requeues.
+    clock:
+        Injectable monotonic clock for the lease table (tests expire
+        leases without sleeping).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        lease_ttl: float | None = None,
+        clock=None,
+        verbose: bool = False,
+    ) -> None:
+        self.verbose = verbose
+        self.service = TuningService(cache_dir)
+        lease_kwargs = {}
+        if lease_ttl is not None:
+            lease_kwargs["ttl"] = lease_ttl
+        if clock is not None:
+            lease_kwargs["clock"] = clock
+        self.leases = LeaseTable(**lease_kwargs)
+        self._results: dict[str, dict] = {}
+        self._results_lock = threading.Lock()
+        self._store_keys: dict[tuple, StoreKey] = {}
+        self._store_keys_lock = threading.Lock()
+        self._restore()
+        self.routes = [
+            route("GET", r"/healthz", self.handle_healthz),
+            route("POST", r"/jobs/?", self.handle_submit),
+            route("GET", r"/jobs/?", self.handle_list_jobs),
+            route("GET", r"/jobs/(?P<job_id>[^/]+)/result", self.handle_result),
+            route("GET", r"/jobs/(?P<job_id>[^/]+)", self.handle_status),
+            route("DELETE", r"/jobs/(?P<job_id>[^/]+)", self.handle_cancel),
+            route("GET", r"/best", self.handle_best),
+            route("POST", r"/lease", self.handle_lease),
+            route(
+                "POST", r"/lease/(?P<lease_id>[^/]+)/heartbeat", self.handle_heartbeat
+            ),
+            route(
+                "POST", r"/lease/(?P<lease_id>[^/]+)/complete", self.handle_complete
+            ),
+            route("POST", r"/lease/(?P<lease_id>[^/]+)/fail", self.handle_fail),
+        ]
+
+    # ------------------------------------------------------------------
+    # persistence (restart survival)
+    # ------------------------------------------------------------------
+    @property
+    def queue(self) -> JobQueue:
+        return self.service.queue
+
+    def _ledger_path(self) -> Path:
+        return self.service.store.root / LEDGER_NAME
+
+    def _results_path(self) -> Path:
+        return self.service.store.root / RESULTS_NAME
+
+    def _restore(self) -> None:
+        """Reload the ledger and result summaries from the cache dir.
+
+        Jobs that were running when the previous server died requeue as
+        pending (their runners' leases died with that server).
+        """
+        self.queue.restore(JobQueue.load_ledger(self._ledger_path()))
+        for _, row in iter_jsonl(self._results_path()):
+            if row is None or not isinstance(row.get("job_id"), str):
+                continue
+            if isinstance(row.get("result"), dict):
+                self._results[row["job_id"]] = row["result"]
+
+    def _save_ledger(self) -> None:
+        self.service.store.root.mkdir(parents=True, exist_ok=True)
+        self.queue.save_ledger(self._ledger_path())
+
+    def _save_result(self, job_id: str, result: dict) -> None:
+        """Persist one result summary (merge-on-write, like the ledger)."""
+        with self._results_lock:
+            self._results[job_id] = result
+            path = self._results_path()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with file_lock(path):
+                merged: dict[str, dict] = {}
+                preserved: list[str] = []
+                for line, row in iter_jsonl(path):
+                    if row is not None and isinstance(row.get("job_id"), str):
+                        merged[row["job_id"]] = row
+                    else:
+                        preserved.append(line)
+                merged[job_id] = {"job_id": job_id, "result": result}
+                atomic_write_lines(
+                    path, preserved + [json.dumps(row) for row in merged.values()]
+                )
+
+    def shutdown(self) -> None:
+        """Graceful stop: close the queue, requeue leases, flush state.
+
+        Runners lose their leases (their next heartbeat 404s and they
+        abandon the job); the released jobs reach the ledger as
+        pending, so a restarted server — or another one sharing the
+        cache dir — picks them straight up.
+        """
+        self.queue.close()
+        for lease in self.leases.drain():
+            self.queue.release(lease.job_id)
+        self._save_ledger()
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _job_or_404(self, job_id: str):
+        try:
+            return self.queue.get(job_id)
+        except KeyError:
+            raise HttpError(404, f"unknown job id {job_id!r}") from None
+
+    def _job_payload(self, job) -> dict:
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "network": job.network,
+            "device": job.device,
+            "method": job.method,
+            "rounds": job.rounds,
+            "scale": job.scale,
+            "attempts": job.attempts,
+            "error": job.error,
+            "cancel_requested": job.cancel_requested,
+            "runner": job.runner_id,
+            "progress": job.progress,
+        }
+
+    def _store_key_for(self, job) -> StoreKey | None:
+        """The record-store key a job's tasks read and write (cached).
+
+        Building tasks means generating sketches, so the key is
+        memoized per spec; a spec that fails to build (it passed
+        submit-time validation, so this is rare) reads as "no seed
+        rows" rather than a 500.
+        """
+        spec = (job.network, job.device, job.method, job.batch, job.top_k_tasks)
+        with self._store_keys_lock:
+            if spec in self._store_keys:
+                return self._store_keys[spec]
+        try:
+            subgraphs = network_tasks(
+                job.network, batch=job.batch, top_k=job.top_k_tasks
+            )
+            tasks = api.tasks_for(job.method, subgraphs, get_device(job.device))
+            key = store_key_for_tasks(tasks, job.method)
+        except ReproError:
+            return None
+        with self._store_keys_lock:
+            self._store_keys[spec] = key
+        return key
+
+    def _reap_expired(self) -> None:
+        """Requeue jobs whose runner went silent past its lease."""
+        for lease in self.leases.expired():
+            self.queue.release(lease.job_id)
+
+    # ------------------------------------------------------------------
+    # front-end handlers
+    # ------------------------------------------------------------------
+    def handle_healthz(self, match, query, body):
+        self._reap_expired()
+        return 200, {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "jobs": self.queue.counts(),
+            "active_leases": self.leases.active(),
+        }
+
+    def handle_submit(self, match, query, body):
+        unknown = set(body) - _SUBMIT_FIELDS
+        if unknown:
+            raise HttpError(400, f"unknown job fields: {sorted(unknown)}")
+        if not isinstance(body.get("network"), str) or not body["network"]:
+            raise HttpError(400, "submit needs a 'network' string")
+        try:
+            # integer fields arrive as JSON numbers or numeric strings;
+            # reject garbage here, not inside a runner attempt
+            for field in ("rounds", "batch", "priority", "max_retries", "seed"):
+                if body.get(field) is not None:
+                    body[field] = int(body[field])
+            if body.get("top_k_tasks") is not None:
+                body["top_k_tasks"] = int(body["top_k_tasks"])
+            job_id = self.service.submit(**body)
+        except ReproError as exc:
+            raise HttpError(400, str(exc)) from None
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad job spec: {exc}") from None
+        self._save_ledger()  # a submitted job must survive a crash
+        return 201, {"job_id": job_id, "state": JobState.PENDING.value}
+
+    def handle_list_jobs(self, match, query, body):
+        return 200, {"jobs": [self._job_payload(j) for j in self.queue.jobs()]}
+
+    def handle_status(self, match, query, body):
+        job = self._job_or_404(match.group("job_id"))
+        return 200, self._job_payload(job)
+
+    def handle_result(self, match, query, body):
+        job_id = match.group("job_id")
+        job = self._job_or_404(job_id)
+        with self._results_lock:
+            result = self._results.get(job_id)
+        if job.state not in TERMINAL_STATES or result is None:
+            raise HttpError(
+                409,
+                f"job {job_id} is {job.state.value!r}, result not available",
+                payload={"state": job.state.value},
+            )
+        return 200, {"job_id": job_id, "state": job.state.value, "result": result}
+
+    def handle_cancel(self, match, query, body):
+        job_id = match.group("job_id")
+        self._job_or_404(job_id)
+        state = self.queue.cancel(job_id)
+        self._save_ledger()
+        return 200, {
+            "job_id": job_id,
+            "state": state.value,
+            # running jobs stop at their next round boundary
+            "cancel_requested": state is JobState.RUNNING,
+        }
+
+    def handle_best(self, match, query, body):
+        workload = query.get("workload")
+        if not workload:
+            raise HttpError(400, "GET /best needs a 'workload' query parameter")
+        try:
+            summary = self.service.best_schedule(
+                workload,
+                device=query.get("device", "a100"),
+                method=query.get("method", "pruner"),
+                batch=int(query.get("batch", 1)),
+                top_k_tasks=(
+                    int(query["top_k_tasks"]) if "top_k_tasks" in query else None
+                ),
+            )
+        except ReproError as exc:
+            raise HttpError(400, str(exc)) from None
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad query: {exc}") from None
+        summary["tuned_latency"] = wire_float(summary["tuned_latency"])
+        return 200, summary
+
+    # ------------------------------------------------------------------
+    # runner-protocol handlers
+    # ------------------------------------------------------------------
+    def handle_lease(self, match, query, body):
+        runner_id = body.get("runner_id")
+        if not isinstance(runner_id, str) or not runner_id:
+            raise HttpError(400, "lease needs a 'runner_id' string")
+        ttl = body.get("ttl")
+        if ttl is not None:
+            # validate before claiming: a grant() failure after claim()
+            # would strand the job RUNNING with no lease to expire
+            try:
+                ttl = float(ttl)
+            except (TypeError, ValueError):
+                raise HttpError(400, f"bad lease ttl {ttl!r}") from None
+            if ttl <= 0:
+                raise HttpError(400, f"lease ttl must be > 0, got {ttl}")
+        self._reap_expired()
+        job = self.queue.claim(runner_id=runner_id)
+        if job is None:
+            return 204, None  # nothing to do; poll again later
+        try:
+            lease = self.leases.grant(job.job_id, runner_id, ttl=ttl)
+        except ValueError:
+            self.queue.release(job.job_id)  # never strand a claimed job
+            raise
+        self._save_ledger()  # the claim (running + runner id) survives a crash
+        key = self._store_key_for(job)
+        seed_rows = self.service.store.load_rows(key) if key is not None else []
+        return 200, {
+            "lease_id": lease.lease_id,
+            "ttl": lease.ttl,
+            "job": job.to_dict(),
+            "seed_rows": seed_rows,
+        }
+
+    def _lease_or_410(self, lease_id: str, runner_id: str, drop: bool = False):
+        """Heartbeat/complete/fail preamble: validate the caller's hold."""
+        self._reap_expired()
+        try:
+            if drop:
+                return self.leases.release(lease_id, runner_id)
+            return self.leases.heartbeat(lease_id, runner_id)
+        except KeyError:
+            raise HttpError(
+                410, f"lease {lease_id} expired; its job was requeued"
+            ) from None
+        except PermissionError as exc:
+            raise HttpError(409, str(exc)) from None
+
+    def handle_heartbeat(self, match, query, body):
+        runner_id = body.get("runner_id", "")
+        lease = self._lease_or_410(match.group("lease_id"), runner_id)
+        progress = body.get("progress")
+        if isinstance(progress, dict):
+            self.queue.update_progress(lease.job_id, progress)
+        return 200, {
+            "job_id": lease.job_id,
+            "ttl": lease.ttl,
+            "cancel": self.queue.cancel_requested(lease.job_id),
+        }
+
+    def handle_complete(self, match, query, body):
+        runner_id = body.get("runner_id", "")
+        records = body.get("records") or []
+        if not isinstance(records, list):
+            raise HttpError(400, "'records' must be a list of record rows")
+        result = body.get("result")
+        # Measured rows are evidence regardless of lease fate: ingest
+        # them first, so even a runner whose lease expired mid-upload
+        # still contributes to the store (the requeued attempt
+        # warm-starts from them).
+        job_id_hint = body.get("job_id")
+        ingested = self._ingest_rows(job_id_hint, records)
+        lease = self._lease_or_410(match.group("lease_id"), runner_id, drop=True)
+        if isinstance(result, dict):
+            self._save_result(lease.job_id, result)
+        self.queue.mark_done(lease.job_id)
+        self._save_ledger()
+        job = self.queue.get(lease.job_id)
+        return 200, {
+            "job_id": lease.job_id,
+            "state": job.state.value,
+            "records_ingested": ingested,
+        }
+
+    def handle_fail(self, match, query, body):
+        runner_id = body.get("runner_id", "")
+        lease = self._lease_or_410(match.group("lease_id"), runner_id, drop=True)
+        error = str(body.get("error") or "runner reported failure")
+        self.queue.mark_failed(lease.job_id, error)
+        self._save_ledger()
+        job = self.queue.get(lease.job_id)
+        return 200, {"job_id": lease.job_id, "state": job.state.value}
+
+    def _ingest_rows(self, job_id: str | None, records: list) -> int:
+        """Append wire record rows to the store under the job's key."""
+        if not records or not isinstance(job_id, str):
+            return 0
+        try:
+            job = self.queue.get(job_id)
+        except KeyError:
+            return 0
+        key = self._store_key_for(job)
+        if key is None:
+            return 0
+        return self.service.store.append_rows(key, records)

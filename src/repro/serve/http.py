@@ -1,0 +1,125 @@
+"""Stdlib HTTP plumbing: JSON routing over ``http.server``.
+
+No third-party web framework — the serving layer runs anywhere the
+interpreter does.  An *app* is any object with a ``routes`` attribute:
+a list of ``(method, compiled path regex, handler)`` triples, where a
+handler takes ``(match, query, body)`` and returns ``(status, payload)``
+(payload is JSON-serialized; named regex groups carry path parameters).
+:func:`make_server` binds an app to a :class:`ThreadingHTTPServer`, so
+each request runs on its own thread — the app owns all shared state and
+its locking.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Request body size cap (covers record uploads from a runner fleet;
+#: anything bigger is a client bug, not tuning data).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """An error with an HTTP status; handlers raise it to short-circuit.
+
+    ``payload`` (optional) is merged into the error response body, so a
+    409 can still tell the client what state the job is actually in.
+    """
+
+    def __init__(self, status: int, message: str, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.payload = payload or {}
+
+
+def route(method: str, pattern: str, handler) -> tuple[str, re.Pattern, object]:
+    """One routing-table entry; ``pattern`` is full-matched against the path."""
+    return (method, re.compile(pattern), handler)
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches requests against ``self.app.routes``; speaks JSON only."""
+
+    app = None  # bound by make_server
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"  # keep-alive (Content-Length always set)
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib name
+        if getattr(self.app, "verbose", False):
+            super().log_message(format, *args)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return body
+
+    def _respond(self, status: int, payload: dict | None) -> None:
+        data = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        if data:
+            self.wfile.write(data)
+
+    def _dispatch(self, method: str) -> None:
+        path, _, raw_query = self.path.partition("?")
+        try:
+            query = {
+                key: values[0]
+                for key, values in urllib.parse.parse_qs(raw_query).items()
+            }
+            body = self._read_body()
+            for verb, pattern, handler in self.app.routes:
+                if verb != method:
+                    continue
+                match = pattern.fullmatch(path)
+                if match is None:
+                    continue
+                status, payload = handler(match, query, body)
+                self._respond(status, payload)
+                return
+            raise HttpError(404, f"no route for {method} {path}")
+        except HttpError as exc:
+            self._respond(exc.status, {"error": exc.message, **exc.payload})
+        except BrokenPipeError:
+            pass  # client went away mid-response; nothing to tell it
+        except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the server
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib dispatch names
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def make_server(app, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+    """A threading HTTP server bound to ``app`` (port 0 = ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` (usually on a
+    background thread), then ``shutdown()`` + ``server_close()``.
+    """
+    handler = type("BoundJsonHandler", (JsonRequestHandler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True  # in-flight handlers must not block exit
+    return server

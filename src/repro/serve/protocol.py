@@ -1,0 +1,188 @@
+"""Remote measurement-worker protocol: leases and wire encoding.
+
+The server hands jobs to runner processes under *leases* — time-bound
+claims (MITuna-style): a runner must heartbeat before the lease's
+deadline or the server requeues the job for someone else, so a runner
+that crashes, hangs, or loses its network never strands work.  The
+full exchange:
+
+1. ``POST /lease`` — the runner asks for work; the server pops the
+   queue, grants a lease, and ships the job spec plus warm-start seed
+   rows from the record store.
+2. ``POST /lease/{id}/heartbeat`` — keep-alive, carrying the latest
+   per-round progress *to* the server and the job's cancellation flag
+   *back* (cancellation piggybacks on the beat — no extra channel).
+3. ``POST /lease/{id}/complete`` / ``.../fail`` — terminal: fresh
+   record rows and a result summary, or the error.
+
+This module owns the lease bookkeeping (:class:`LeaseTable`) and the
+JSON wire forms of results (:func:`result_to_wire` /
+:func:`fresh_rows`); the HTTP surface lives in :mod:`repro.serve.app`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from repro.search.tuner import TuneResult
+
+#: Version of the runner wire protocol, echoed by ``GET /healthz`` —
+#: bump when a message shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Default seconds a runner may go silent before its lease expires.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def wire_float(value: float) -> float | str:
+    """JSON-safe float: non-finite values travel as strings."""
+    return value if math.isfinite(value) else repr(value)
+
+
+def unwire_float(value: float | str | None) -> float:
+    """Inverse of :func:`wire_float` (None reads as inf: no data yet)."""
+    if value is None:
+        return math.inf
+    return float(value)
+
+
+@dataclass
+class Lease:
+    """One granted claim: a runner's time-bound hold on a job."""
+
+    lease_id: str
+    job_id: str
+    runner_id: str
+    ttl: float
+    deadline: float  # clock() timestamp after which the lease is dead
+
+
+class LeaseTable:
+    """Thread-safe lease bookkeeping with expiry.
+
+    ``clock`` is injectable (defaults to ``time.monotonic``) so tests
+    can expire leases without sleeping.  The table never touches the
+    job queue itself — callers pair :meth:`expired` with
+    :meth:`~repro.service.jobs.JobQueue.release`.
+    """
+
+    def __init__(self, ttl: float = DEFAULT_LEASE_TTL, clock=time.monotonic) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._leases: dict[str, Lease] = {}
+
+    # ------------------------------------------------------------------
+    def grant(self, job_id: str, runner_id: str, ttl: float | None = None) -> Lease:
+        """Issue a fresh lease on a just-claimed job."""
+        ttl = self.ttl if ttl is None else min(float(ttl), 10 * self.ttl)
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        lease = Lease(
+            lease_id=uuid.uuid4().hex,
+            job_id=job_id,
+            runner_id=runner_id,
+            ttl=ttl,
+            deadline=self._clock() + ttl,
+        )
+        with self._lock:
+            self._leases[lease.lease_id] = lease
+        return lease
+
+    def heartbeat(self, lease_id: str, runner_id: str) -> Lease:
+        """Extend a lease's deadline; raises if it is gone or not yours.
+
+        ``KeyError`` — unknown/expired lease (the job was requeued);
+        ``PermissionError`` — a different runner holds it.
+        """
+        with self._lock:
+            lease = self._leases[lease_id]
+            if lease.runner_id != runner_id:
+                raise PermissionError(
+                    f"lease {lease_id} belongs to {lease.runner_id!r}"
+                )
+            lease.deadline = self._clock() + lease.ttl
+            return lease
+
+    def release(self, lease_id: str, runner_id: str | None = None) -> Lease:
+        """Drop a lease (complete/fail path); same errors as heartbeat."""
+        with self._lock:
+            lease = self._leases[lease_id]
+            if runner_id is not None and lease.runner_id != runner_id:
+                raise PermissionError(
+                    f"lease {lease_id} belongs to {lease.runner_id!r}"
+                )
+            del self._leases[lease_id]
+            return lease
+
+    def expired(self) -> list[Lease]:
+        """Pop and return every lease past its deadline (reaper step)."""
+        now = self._clock()
+        with self._lock:
+            dead = [
+                lease for lease in self._leases.values() if lease.deadline < now
+            ]
+            for lease in dead:
+                del self._leases[lease.lease_id]
+            return dead
+
+    def drain(self) -> list[Lease]:
+        """Pop every active lease (server shutdown: requeue them all)."""
+        with self._lock:
+            leases = list(self._leases.values())
+            self._leases.clear()
+            return leases
+
+    def active(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+
+# ----------------------------------------------------------------------
+# wire forms
+# ----------------------------------------------------------------------
+def result_to_wire(result: TuneResult) -> dict:
+    """JSON-safe summary of a :class:`TuneResult` (what clients poll).
+
+    The record log itself is *not* here — fresh rows travel separately
+    (:func:`fresh_rows`) and land in the server's record store; the
+    summary is what ``GET /jobs/{id}/result`` serves forever after.
+    """
+    return {
+        "final_latency": wire_float(result.final_latency),
+        "fixed_latency": result.fixed_latency,
+        "best": {key: wire_float(value) for key, value in result.best.items()},
+        "weights": dict(result.weights),
+        "total_trials": result.total_trials,
+        "fresh_trials": result.fresh_trials,
+        "seeded_trials": result.seeded_trials,
+        "stopped_early": result.stopped_early,
+        "rounds_completed": len(result.curve),
+        "curve": [
+            {
+                "sim_time": point.sim_time,
+                "trials": point.trials,
+                "latency": wire_float(point.latency),
+            }
+            for point in result.curve
+        ],
+    }
+
+
+def fresh_rows(result: TuneResult) -> list[dict]:
+    """Serialized rows for the trials this run actually measured.
+
+    Seeded records sit at the front of the log and already live in the
+    server's store — shipping them back would only make the server
+    re-dedup them.
+    """
+    return [
+        record.to_dict()
+        for record in result.records.records[result.seeded_trials :]
+    ]

@@ -1,0 +1,242 @@
+"""Remote measurement runner: lease jobs over HTTP, tune, report back.
+
+A runner is the fleet side of the protocol in
+:mod:`repro.serve.protocol`: it polls ``POST /lease`` for work, tunes
+the leased job locally (warm-started from the seed rows the server
+shipped), heartbeats every round with progress — picking up the
+cancellation flag on the way back — and delivers fresh record rows plus
+a result summary on completion.  A background keep-alive thread beats
+between rounds too, so a long measurement round cannot silently expire
+the lease.
+
+Run one per machine (or several per big machine)::
+
+    python -m repro.serve runner --server http://tuner.example:8537
+
+Crash behavior is the protocol's whole point: a runner that dies
+mid-job simply stops heartbeating, the lease expires, and the server
+requeues the job for the next runner — no state to clean up.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+
+from repro import api
+from repro.cache import clear_caches
+from repro.hardware.device import get_device
+from repro.search.tuner import TuneResult
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import fresh_rows, result_to_wire
+from repro.service.jobs import TuneJob
+from repro.service.store import rows_to_records
+from repro.workloads import network_tasks
+
+
+def default_runner_id() -> str:
+    """host-pid identity: unique per process, readable in job status."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class TuningRunner:
+    """Claims jobs from a tuning server and measures them locally.
+
+    Parameters
+    ----------
+    server_url:
+        Base URL of the ``python -m repro.serve server`` process.
+    runner_id:
+        Identity reported with every protocol call (defaults to
+        host-pid).
+    poll:
+        Seconds to sleep between empty lease polls.
+    lease_ttl:
+        Requested lease duration; None takes the server's default.
+    """
+
+    def __init__(
+        self,
+        server_url: str,
+        runner_id: str | None = None,
+        poll: float = 0.5,
+        lease_ttl: float | None = None,
+        client: ServeClient | None = None,
+        log=None,
+    ) -> None:
+        self.client = client or ServeClient(server_url)
+        self.runner_id = runner_id or default_runner_id()
+        self.poll = poll
+        self.lease_ttl = lease_ttl
+        self._stop = threading.Event()
+        self._log = log if log is not None else sys.stderr
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the loop to exit after the current job (signal handler)."""
+        self._stop.set()
+
+    def _say(self, message: str) -> None:
+        print(f"[runner {self.runner_id}] {message}", file=self._log, flush=True)
+
+    def run_forever(
+        self, max_jobs: int | None = None, idle_exit: bool = False
+    ) -> int:
+        """Lease-and-tune until stopped; returns jobs completed.
+
+        ``max_jobs`` bounds the number of jobs this process takes;
+        ``idle_exit`` exits as soon as a lease poll comes back empty
+        (CI and tests: drain the queue, then leave).
+        """
+        completed = 0
+        while not self._stop.is_set():
+            try:
+                leased = self.client.lease(self.runner_id, ttl=self.lease_ttl)
+            except (ServeError, OSError) as exc:
+                self._say(f"lease poll failed: {exc}")
+                if idle_exit:
+                    break
+                self._stop.wait(self.poll)
+                continue
+            if leased is None:
+                if idle_exit:
+                    break
+                self._stop.wait(self.poll)
+                continue
+            if self._run_leased(leased):
+                completed += 1
+            if max_jobs is not None and completed >= max_jobs:
+                break
+        return completed
+
+    # ------------------------------------------------------------------
+    def _run_leased(self, leased: dict) -> bool:
+        """Tune one leased job end to end; returns True on delivery."""
+        lease_id = leased["lease_id"]
+        ttl = float(leased.get("ttl") or 30.0)
+        job = self._job_from_wire(leased["job"])
+        seed_rows = leased.get("seed_rows") or []
+        self._say(
+            f"leased {job.job_id}: {job.network}@{job.device}"
+            f" ({job.method}, {job.rounds} rounds,"
+            f" {len(seed_rows)} seed rows)"
+        )
+
+        cancelled = threading.Event()
+
+        def beat(progress: dict | None = None) -> None:
+            try:
+                response = self.client.heartbeat(
+                    lease_id, self.runner_id, progress=progress
+                )
+            except ServeError as exc:
+                if exc.status in (404, 409, 410):
+                    # lease gone (job requeued or taken over): treat as
+                    # a cancel and stop at the next round boundary; the
+                    # final complete call still ships measured rows,
+                    # which the server ingests even on an expired lease
+                    cancelled.set()
+                return
+            except OSError:
+                return  # transient network: the next beat retries
+            if response.get("cancel"):
+                cancelled.set()
+
+        # Keep-alive between rounds: a single long round must not look
+        # like a dead runner.
+        beat_stop = threading.Event()
+
+        def beat_loop() -> None:
+            while not beat_stop.wait(max(ttl / 3.0, 0.05)):
+                beat()
+
+        keeper = threading.Thread(target=beat_loop, daemon=True)
+        keeper.start()
+        try:
+            result = self._tune(
+                job,
+                seed_rows,
+                progress=lambda p: beat(p.to_dict()),
+                should_stop=cancelled.is_set,
+            )
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            beat_stop.set()
+            keeper.join(timeout=ttl)
+            return self._deliver_failure(lease_id, job, exc)
+        beat_stop.set()
+        keeper.join(timeout=ttl)
+        return self._deliver_result(lease_id, job, result)
+
+    @staticmethod
+    def _job_from_wire(data: dict) -> TuneJob:
+        # tolerate servers that ship extra fields this version lacks
+        fields = {f.name for f in TuneJob.__dataclass_fields__.values()}
+        return TuneJob.from_dict({k: v for k, v in data.items() if k in fields})
+
+    def _tune(self, job: TuneJob, seed_rows: list, progress, should_stop) -> TuneResult:
+        """The measuring half of ``TuningService._run_job``, minus the
+        store: warm-start comes off the wire, fresh rows go back on it.
+        """
+        try:
+            device = get_device(job.device)
+            subgraphs = network_tasks(
+                job.network, batch=job.batch, top_k=job.top_k_tasks
+            )
+            tasks = api.tasks_for(job.method, subgraphs, device)
+            initial = rows_to_records(
+                seed_rows, {task.key: task.space for task in tasks}
+            )
+            search = api.resolve_scale(job.scale)
+            tuner = api.build_tuner(
+                job.method,
+                subgraphs,
+                device,
+                search=search,
+                seed=job.seed,
+                initial_records=initial,
+                tasks=tasks,
+            )
+            return tuner.tune(
+                job.rounds,
+                trial_budget=job.rounds * search.measure_per_round,
+                progress=progress,
+                should_stop=should_stop,
+            )
+        finally:
+            # one runner process serves many jobs; per-task memo caches
+            # must not accumulate across them
+            clear_caches()
+
+    def _deliver_result(self, lease_id: str, job: TuneJob, result: TuneResult) -> bool:
+        try:
+            response = self.client.complete(
+                lease_id,
+                self.runner_id,
+                job.job_id,
+                result_to_wire(result),
+                fresh_rows(result),
+            )
+        except ServeError as exc:
+            # 410: lease expired mid-run — records were still ingested
+            self._say(f"complete rejected for {job.job_id}: {exc}")
+            return False
+        except OSError as exc:
+            self._say(f"could not deliver {job.job_id}: {exc}")
+            return False
+        self._say(
+            f"finished {job.job_id} [{response.get('state', '?')}]"
+            f" ({result.fresh_trials} fresh trials,"
+            f" {response.get('records_ingested', 0)} rows ingested)"
+        )
+        return True
+
+    def _deliver_failure(self, lease_id: str, job: TuneJob, exc: Exception) -> bool:
+        error = f"{type(exc).__name__}: {exc}"
+        self._say(f"job {job.job_id} failed: {error}")
+        try:
+            self.client.fail(lease_id, self.runner_id, error)
+        except (ServeError, OSError) as report_exc:
+            self._say(f"could not report failure: {report_exc}")
+        return False

@@ -1,4 +1,11 @@
-"""Entry point for ``python -m repro.service``."""
+"""Entry point for ``python -m repro.service``.
+
+SIGINT/SIGTERM during a ``tune`` run drain gracefully instead of
+aborting: in-flight jobs finish (a second signal cancels them at the
+next round boundary), pending jobs stay queued, and the job ledger is
+flushed so a later run can pick the work back up — see
+:func:`repro.service.cli._graceful_shutdown`.
+"""
 
 from __future__ import annotations
 

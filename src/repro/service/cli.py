@@ -16,12 +16,16 @@ Commands
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import math
 import os
+import signal
 import sys
+import threading
 
 from repro.errors import ReproError
+from repro.service.jobs import JobState
 
 DEFAULT_CACHE = ".pruner-cache"
 
@@ -72,6 +76,54 @@ def _fmt_latency(latency: float | None) -> str:
     return f"{latency * 1e6:.1f} us"
 
 
+@contextlib.contextmanager
+def _graceful_shutdown(service, out):
+    """Turn SIGINT/SIGTERM into a drain instead of an abrupt exit.
+
+    First signal: stop starting new jobs — in-flight jobs run to
+    completion, pending ones stay queued and reach the ledger as
+    requeueable.  Second signal: also cancel in-flight jobs at their
+    next round boundary (partial records are already persisted).  The
+    ledger is flushed either way because ``service.run()`` returns
+    normally.  No-op off the main thread (tests drive the CLI from
+    worker threads, where ``signal.signal`` is unavailable).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    hits = {"count": 0}
+
+    def handler(signum, frame):
+        hits["count"] += 1
+        if hits["count"] == 1:
+            print(
+                "\nshutdown requested: draining (in-flight jobs finish, "
+                "pending jobs stay queued; signal again to cancel)",
+                file=out,
+            )
+            service.request_drain()
+        else:
+            print(
+                "\ncancelling in-flight jobs at the next round boundary",
+                file=out,
+            )
+            # only in-flight jobs: pending ones must stay requeueable
+            # in the ledger, not flip to a terminal cancelled state
+            for job in service.queue.jobs():
+                if job.state is JobState.RUNNING:
+                    service.queue.cancel(job.job_id)
+
+    previous = {
+        signum: signal.signal(signum, handler)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
 def _cmd_tune(args: argparse.Namespace, out) -> int:
     from repro.service.server import TuningService
 
@@ -89,13 +141,15 @@ def _cmd_tune(args: argparse.Namespace, out) -> int:
         )
         print(f"queued {job_id}: {network}@{args.device} ({args.method})", file=out)
 
-    states = service.run()
+    with _graceful_shutdown(service, out):
+        states = service.run()
     failed = 0
     for job in service.queue.jobs():
         print(f"\n{job.describe()}", file=out)
         if job.state.value != "done":
             failed += 1
-            print(f"  error: {job.error}", file=out)
+            if job.error:
+                print(f"  error: {job.error}", file=out)
             continue
         result = service.result(job.job_id)
         print(
@@ -170,6 +224,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 1
+    except KeyboardInterrupt:
+        # outside the drain window (submission, printing): exit cleanly
+        # with the conventional interrupted status instead of a traceback
+        print("interrupted", file=out)
+        return 130
     except BrokenPipeError:
         # stdout consumer (head, less) closed the pipe early; point the
         # fd at devnull so the interpreter's shutdown flush doesn't hit

@@ -2,10 +2,18 @@
 
 A :class:`TuneJob` is one request to tune a network on a device with a
 method; the :class:`JobQueue` holds jobs in priority order and tracks
-their lifecycle (``pending -> running -> done | failed``), requeueing
-failed jobs until their retry budget is spent.  The queue is
-thread-safe: :class:`repro.service.workers.WorkerPool` workers claim
-jobs from it concurrently.
+their lifecycle (``pending -> running -> done | failed | cancelled``),
+requeueing failed jobs until their retry budget is spent.  The queue is
+thread-safe: :class:`repro.service.workers.WorkerPool` workers and the
+HTTP serving layer (:mod:`repro.serve`) claim jobs from it
+concurrently.
+
+Cancellation is cooperative: :meth:`JobQueue.cancel` flips a running
+job's ``cancel_requested`` flag, which the tuning loop polls at round
+boundaries (``should_stop`` of :meth:`repro.search.tuner.Tuner.tune`);
+a pending job cancels immediately.  :meth:`JobQueue.release` puts a
+leased job back without burning its retry budget — the path a remote
+runner's expired lease takes (see :mod:`repro.serve.protocol`).
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import heapq
 import json
 import threading
 import uuid
+from collections.abc import Iterable
 from dataclasses import asdict, dataclass, field
 from enum import Enum
 from pathlib import Path
@@ -32,16 +41,30 @@ class JobState(str, Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves (no heap entry can revive them).
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
 
 
 @dataclass
 class TuneJob:
     """One tuning request, plus its queue bookkeeping.
 
-    ``priority``: higher runs first (ties break FIFO).  ``max_retries``
-    is the number of *additional* attempts after a failure.  ``seed``
-    defaults to a value derived deterministically from the job spec, so
-    identical specs tune identically regardless of submission order.
+    ``priority``: higher runs first (ties break on submission order).
+    ``max_retries`` is the number of *additional* attempts after a
+    failure.  ``seed`` defaults to a value derived deterministically
+    from the job spec, so identical specs tune identically regardless
+    of submission order.
+
+    ``submit_seq`` is the queue's submission counter, assigned once at
+    submit time and kept across requeues: a retried or released job
+    re-enters the queue at its original position among equal-priority
+    peers, so scheduling order is a pure function of what was submitted
+    (not of failure timing or dict iteration order).
     """
 
     network: str
@@ -59,6 +82,12 @@ class TuneJob:
     state: JobState = JobState.PENDING
     attempts: int = 0
     error: str | None = None
+    submit_seq: int = 0
+    cancel_requested: bool = False
+    # who is (last) working on it, and how far along it is — progress
+    # is the per-round snapshot dict of RoundProgress.to_dict()
+    runner_id: str | None = None
+    progress: dict | None = None
 
     def __post_init__(self) -> None:
         if self.seed is None:
@@ -113,6 +142,7 @@ class JobQueue:
         self._heap: list[_QueueEntry] = []
         self._jobs: dict[str, TuneJob] = {}
         self._seq = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     def submit(self, job: TuneJob) -> str:
@@ -124,18 +154,65 @@ class JobQueue:
             if job.job_id in self._jobs:
                 raise ValueError(f"duplicate job id {job.job_id!r}")
             job.state = JobState.PENDING
+            if job.submit_seq == 0:
+                self._seq += 1
+                job.submit_seq = self._seq
             self._jobs[job.job_id] = job
             self._push(job)
             return job.job_id
 
-    def _push(self, job: TuneJob) -> None:
-        # higher priority first, then FIFO on the submission sequence
-        self._seq += 1
-        heapq.heappush(self._heap, _QueueEntry((-job.priority, self._seq), job.job_id))
+    def restore(self, jobs: Iterable[TuneJob]) -> int:
+        """Adopt jobs from a persisted ledger (server restart path).
 
-    def claim(self) -> TuneJob | None:
-        """Pop the highest-priority pending job and mark it running."""
+        Jobs that were running when the previous process died requeue
+        as pending — unless their cancellation was already requested,
+        in which case the cancel wins.  Terminal jobs are kept for
+        status queries only.  Returns the number of requeued/pending
+        jobs now claimable.
+        """
+        claimable = 0
         with self._lock:
+            for job in jobs:
+                if not job.job_id or job.job_id in self._jobs:
+                    continue
+                if job.state is JobState.RUNNING:
+                    if job.cancel_requested:
+                        job.state = JobState.CANCELLED
+                    else:
+                        # same refund as release(): the process dying
+                        # under the claim says nothing about the job,
+                        # so the attempt must not burn retry budget
+                        job.state = JobState.PENDING
+                        job.attempts = max(0, job.attempts - 1)
+                        job.runner_id = None
+                self._seq = max(self._seq, job.submit_seq)
+                if job.submit_seq == 0:
+                    self._seq += 1
+                    job.submit_seq = self._seq
+                self._jobs[job.job_id] = job
+                if job.state is JobState.PENDING:
+                    self._push(job)
+                    claimable += 1
+        return claimable
+
+    def _push(self, job: TuneJob) -> None:
+        # Higher priority first; equal priorities break on submission
+        # order.  Requeued jobs keep their original submit_seq, so the
+        # schedule is deterministic in what was submitted — not in when
+        # retries happened or how dicts iterate.
+        heapq.heappush(
+            self._heap, _QueueEntry((-job.priority, job.submit_seq), job.job_id)
+        )
+
+    def claim(self, runner_id: str | None = None) -> TuneJob | None:
+        """Pop the highest-priority pending job and mark it running.
+
+        Returns None when no job is claimable or the queue was closed
+        for draining (see :meth:`close`).
+        """
+        with self._lock:
+            if self._closed:
+                return None
             while self._heap:
                 entry = heapq.heappop(self._heap)
                 job = self._jobs.get(entry.job_id)
@@ -143,24 +220,93 @@ class JobQueue:
                     continue  # stale heap entry (job was requeued/finished)
                 job.state = JobState.RUNNING
                 job.attempts += 1
+                job.runner_id = runner_id
                 return job
             return None
 
     def mark_done(self, job_id: str) -> None:
+        """Finish a running job: done, or cancelled if a cancel raced it.
+
+        A cancel request that lands in the job's final round is still a
+        cancel — the caller ran to a stop point and returned a partial
+        result, and the requester must see the state they asked for.
+        """
         with self._lock:
-            self._jobs[job_id].state = JobState.DONE
-            self._jobs[job_id].error = None
+            job = self._jobs[job_id]
+            job.state = (
+                JobState.CANCELLED if job.cancel_requested else JobState.DONE
+            )
+            job.error = None
 
     def mark_failed(self, job_id: str, error: str) -> None:
         """Record a failure; requeue while the retry budget lasts."""
         with self._lock:
             job = self._jobs[job_id]
             job.error = error
-            if job.attempts <= job.max_retries:
+            if job.cancel_requested:
+                job.state = JobState.CANCELLED
+            elif job.attempts <= job.max_retries:
                 job.state = JobState.PENDING
                 self._push(job)
             else:
                 job.state = JobState.FAILED
+
+    def release(self, job_id: str) -> None:
+        """Requeue a running job without burning its retry budget.
+
+        The expired-lease path: the runner that claimed this job went
+        silent, which says nothing about the job itself — the claim's
+        attempt is refunded.  A pending cancel wins over the requeue.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state is not JobState.RUNNING:
+                return
+            job.attempts = max(0, job.attempts - 1)
+            job.runner_id = None
+            if job.cancel_requested:
+                job.state = JobState.CANCELLED
+            else:
+                job.state = JobState.PENDING
+                self._push(job)
+
+    def cancel(self, job_id: str) -> JobState:
+        """Request cancellation; returns the job's state afterwards.
+
+        Pending jobs cancel immediately (their heap entries go stale).
+        Running jobs get ``cancel_requested`` set, which the tuning
+        loop observes at its next round boundary; the state stays
+        ``running`` until the worker reaches that stop point.  Terminal
+        jobs are left as they are.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state is JobState.PENDING:
+                job.cancel_requested = True
+                job.state = JobState.CANCELLED
+            elif job.state is JobState.RUNNING:
+                job.cancel_requested = True
+            return job.state
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether a cancel was requested (the tuner's should_stop)."""
+        with self._lock:
+            return self._jobs[job_id].cancel_requested
+
+    def update_progress(self, job_id: str, progress: dict) -> None:
+        """Attach the latest per-round progress snapshot to a job."""
+        with self._lock:
+            self._jobs[job_id].progress = dict(progress)
+
+    def close(self) -> None:
+        """Stop handing out jobs; pending work stays queued (drain mode).
+
+        Claims return None afterwards, so workers exit after finishing
+        what they already hold, and pending jobs survive into the
+        ledger as requeueable.
+        """
+        with self._lock:
+            self._closed = True
 
     # ------------------------------------------------------------------
     def get(self, job_id: str) -> TuneJob:

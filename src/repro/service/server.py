@@ -109,7 +109,33 @@ class TuningService:
         self.queue.save_ledger(self.store.root / LEDGER_NAME)
         return {job.job_id: job.state.value for job in self.queue.jobs()}
 
+    def cancel(self, job_id: str) -> str:
+        """Request cancellation of a job; returns its state afterwards.
+
+        Pending jobs cancel immediately; running jobs stop at their
+        next round boundary (cooperative — see :meth:`JobQueue.cancel`)
+        and keep the partial result they measured so far.
+        """
+        self._get_job(job_id)  # unknown ids raise SearchError, not KeyError
+        return self.queue.cancel(job_id).value
+
+    def request_drain(self) -> None:
+        """Stop starting new jobs; in-flight jobs run to completion.
+
+        The graceful-shutdown path: pending jobs stay queued and reach
+        the ledger as requeueable, workers exit once their current job
+        finishes, and :meth:`run` returns normally (flushing the
+        ledger).
+        """
+        self.queue.close()
+
     def _run_job(self, job: TuneJob) -> TuneResult:
+        def on_round(progress) -> None:
+            self.queue.update_progress(job.job_id, progress.to_dict())
+
+        def should_stop() -> bool:
+            return self.queue.cancel_requested(job.job_id)
+
         try:
             return api.tune_network(
                 job.network,
@@ -121,6 +147,8 @@ class TuningService:
                 top_k_tasks=job.top_k_tasks,
                 seed=job.seed,
                 cache_dir=self.store.root,
+                progress=on_round,
+                should_stop=should_stop,
             )
         finally:
             # Long-lived service processes must not accumulate per-task
@@ -153,13 +181,21 @@ class TuningService:
                 "state": job.state.value,
                 "attempts": job.attempts,
                 "error": job.error,
+                "cancel_requested": job.cancel_requested,
+                "runner": job.runner_id,
+                "progress": job.progress,
             }
         return self.queue.counts()
 
     def result(self, job_id: str) -> TuneResult:
-        """The TuneResult of a finished job."""
+        """The TuneResult of a finished job.
+
+        Cancelled jobs that completed at least one round return their
+        partial result; pending/running/failed jobs raise.
+        """
         job = self._get_job(job_id)
-        if job.state is not JobState.DONE:
+        finished = job.state in (JobState.DONE, JobState.CANCELLED)
+        if not finished or job_id not in self._results:
             raise SearchError(
                 f"job {job_id} is {job.state.value!r}, not done"
                 + (f" (last error: {job.error})" if job.error else "")

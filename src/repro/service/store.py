@@ -38,7 +38,7 @@ except ImportError:  # non-POSIX: fall back to in-process locking only
 from repro.errors import LoweringError, ScheduleError
 from repro.search.records import RECORD_SCHEMA_VERSION, TuningRecord
 from repro.search.task import TuningTask
-from repro.schedule.space import ScheduleSpace
+from repro.schedule.space import ScheduleConfig, ScheduleSpace
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -97,6 +97,81 @@ def file_lock(path: Path):
             yield
         finally:
             fcntl.flock(fh, fcntl.LOCK_UN)
+
+
+def rows_to_records(
+    rows: Iterable[dict], spaces: dict[str, ScheduleSpace]
+) -> list[TuningRecord]:
+    """Reconstruct records from raw rows by re-lowering their configs.
+
+    ``spaces`` maps task key -> schedule space.  Rows for unknown tasks
+    or with configs outside the current space are skipped — the shared
+    tolerant path under :meth:`RecordStore.load_records` and the remote
+    runner's warm-start (seed rows arrive over the wire, not from a
+    file).
+    """
+    out: list[TuningRecord] = []
+    for row in rows:
+        space = spaces.get(row.get("task_key"))
+        if space is None:
+            continue
+        try:
+            out.append(TuningRecord.from_dict(row, space))
+        except (ScheduleError, LoweringError, KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+# ----------------------------------------------------------------------
+# schema migrations
+# ----------------------------------------------------------------------
+def _migrate_v0(row: dict) -> dict | None:
+    """Upgrade a v0 row (pre-versioning) to the v1 schema.
+
+    v0 rows predate the ``v`` field and differ from v1 in three ways:
+    latency lived under ``time``, ``config.tiles`` was an axis ->
+    factors mapping rather than a sorted pair list, and there was no
+    ``config_key`` (dedup re-derived it on every read).  Returns None
+    when the row is too damaged to upgrade.
+    """
+    try:
+        cfg = row["config"]
+        tiles = cfg["tiles"]
+        if isinstance(tiles, dict):
+            tile_map = {axis: tuple(int(f) for f in fs) for axis, fs in tiles.items()}
+        else:  # early v0 writers already used pair lists
+            tile_map = {axis: tuple(int(f) for f in fs) for axis, fs in tiles}
+        config = ScheduleConfig.from_map(
+            tile_map,
+            unroll=int(cfg.get("unroll", 0)),
+            vector=int(cfg.get("vector", 1)),
+            splitk=int(cfg.get("splitk", 1)),
+        )
+        latency = row["latency"] if "latency" in row else row["time"]
+        return {
+            "v": 1,
+            "task_key": row["task_key"],
+            "workload_key": row.get("workload_key", ""),
+            "config": {
+                "tiles": [[axis, list(factors)] for axis, factors in config.tiles],
+                "unroll": config.unroll,
+                "vector": config.vector,
+                "splitk": config.splitk,
+            },
+            "config_key": config.key,
+            "latency": latency,
+            "sim_time": float(row.get("sim_time", 0.0)),
+            "round_index": int(row.get("round_index", 0)),
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+#: from-version -> upgrade function producing the next version.  A row
+#: at version N runs the chain N, N+1, ... until it reaches
+#: :data:`RECORD_SCHEMA_VERSION`; a gap in the chain (or an upgrade
+#: returning None) leaves the row as-is on disk and skipped on load.
+_MIGRATIONS: dict[int, callable] = {0: _migrate_v0}
 
 
 @dataclass(frozen=True)
@@ -276,6 +351,45 @@ class RecordStore:
             self._register(key)
             return written
 
+    def append_rows(self, key: StoreKey, rows: Iterable[dict]) -> int:
+        """Persist already-serialized record rows (the wire-ingest path).
+
+        Remote runners ship fresh trials as ``TuningRecord.to_dict``
+        rows; persisting them must not require re-lowering every config
+        on the server.  Rows missing a ``task_key``/``config_key``
+        identity are dropped, dedup matches :meth:`append`, and rows
+        are stamped with the current schema version if they carry none.
+        Returns the number of rows written.
+        """
+        rows = [dict(row) for row in rows if isinstance(row, dict)]
+        rows = [
+            row
+            for row in rows
+            if isinstance(row.get("task_key"), str)
+            and isinstance(row.get("config_key"), str)
+        ]
+        if not rows:
+            return 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._lock, file_lock(self.path_for(key)):
+            path = self.path_for(key)
+            seen = {
+                (row.get("task_key"), row.get("config_key"))
+                for row in self._iter_parsed(path)
+            }
+            written = 0
+            with path.open("a", encoding="utf-8") as fh:
+                for row in rows:
+                    ident = (row["task_key"], row["config_key"])
+                    if ident in seen:
+                        continue
+                    seen.add(ident)
+                    row.setdefault("v", RECORD_SCHEMA_VERSION)
+                    fh.write(json.dumps(row) + "\n")
+                    written += 1
+            self._register(key)
+            return written
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -286,20 +400,99 @@ class RecordStore:
             if row is not None:
                 yield row
 
+    @staticmethod
+    def _row_version(row: dict) -> int | None:
+        try:
+            return int(row.get("v", 0))
+        except (TypeError, ValueError):
+            return None
+
+    @classmethod
+    def _migrated(cls, row: dict) -> dict | None:
+        """A row upgraded to the current schema, or None if impossible.
+
+        Rows written by a *newer* schema are also None here — they are
+        preserved on disk (rewrites keep their raw lines) but never
+        loaded by this version.
+        """
+        version = cls._row_version(row)
+        if version is None:
+            return None
+        while version < RECORD_SCHEMA_VERSION:
+            upgrade = _MIGRATIONS.get(version)
+            if upgrade is None:
+                return None
+            row = upgrade(row)
+            if row is None:
+                return None
+            version = cls._row_version(row)
+            if version is None:
+                return None
+        return row if version == RECORD_SCHEMA_VERSION else None
+
     @classmethod
     def _iter_rows(cls, path: Path) -> Iterable[dict]:
         for row in cls._iter_parsed(path):
-            try:
-                version = int(row.get("v", 0))
-            except (TypeError, ValueError):
-                continue  # unparseable version; skip, keep the file
-            if version > RECORD_SCHEMA_VERSION:
-                continue  # written by a newer schema; ignore
-            yield row
+            migrated = cls._migrated(row)
+            if migrated is not None:
+                yield migrated
+
+    def upgrade_in_place(self, key: StoreKey) -> int:
+        """Rewrite old-schema rows of one file in the current schema.
+
+        Run on open (:meth:`load_rows`): rows an earlier version wrote
+        are upgraded through :data:`_MIGRATIONS` and written back, so
+        evidence is carried forward across ``v`` bumps instead of
+        silently dropped.  Rows that cannot be upgraded — and rows a
+        *newer* version wrote — keep their original lines.  Returns the
+        number of rows rewritten.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return 0
+        with self._lock, file_lock(path):
+            upgraded = 0
+            lines: list[str] = []
+            for raw, row in iter_jsonl(path):
+                if row is None:
+                    lines.append(raw)
+                    continue
+                version = self._row_version(row)
+                if version is None or version >= RECORD_SCHEMA_VERSION:
+                    lines.append(raw)
+                    continue
+                migrated = self._migrated(row)
+                if migrated is None:
+                    lines.append(raw)
+                    continue
+                lines.append(json.dumps(migrated))
+                upgraded += 1
+            if upgraded:
+                atomic_write_lines(path, lines)
+            return upgraded
 
     def load_rows(self, key: StoreKey) -> list[dict]:
-        """Raw (already schema-filtered) rows of one store key."""
-        return list(self._iter_rows(self.path_for(key)))
+        """Raw (schema-upgraded) rows of one store key.
+
+        Opening a file that holds old-version rows rewrites them on
+        disk in the current schema (see :meth:`upgrade_in_place`), so
+        later readers — including dedup in :meth:`append` — see
+        current-schema rows.  The steady state (no old rows) is a
+        single lock-free pass; the rewrite only happens when an
+        old-version row was actually seen.
+        """
+        rows: list[dict] = []
+        old_seen = False
+        for row in self._iter_parsed(self.path_for(key)):
+            version = self._row_version(row)
+            if version is not None and version < RECORD_SCHEMA_VERSION:
+                old_seen = True
+            migrated = self._migrated(row)
+            if migrated is not None:
+                rows.append(migrated)
+        if old_seen:
+            self.upgrade_in_place(key)  # re-reads under the file lock
+        return rows
 
     def load_records(
         self, key: StoreKey, spaces: dict[str, ScheduleSpace]
@@ -309,15 +502,7 @@ class RecordStore:
         ``spaces`` maps task key -> schedule space.  Rows for unknown
         tasks or with configs outside the current space are skipped.
         """
-        out: list[TuningRecord] = []
-        for row in self.load_rows(key):
-            space = spaces.get(row.get("task_key"))
-            if space is None:
-                continue
-            try:
-                out.append(TuningRecord.from_dict(row, space))
-            except (ScheduleError, LoweringError, KeyError, TypeError, ValueError):
-                continue
+        out = rows_to_records(self.load_rows(key), spaces)
         if out:
             self.touch(key)  # warm-start reads drive the LRU ordering
         return out

@@ -1,0 +1,406 @@
+"""End-to-end tests for repro.serve: HTTP front end + runner protocol.
+
+Everything here runs over real sockets (ephemeral ports); the
+acceptance test at the bottom runs the server and a runner as separate
+OS processes through the ``python -m repro.serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http import make_server
+from repro.serve.protocol import LeaseTable
+from repro.serve.runner import TuningRunner
+from repro.service.jobs import JobState
+
+SPEC = dict(rounds=2, scale="smoke", top_k_tasks=1)
+
+
+class FakeClock:
+    """Injectable monotonic clock: lease expiry without sleeping."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Stack:
+    """A ServeApp bound to a real ephemeral-port HTTP server."""
+
+    def __init__(self, cache_dir, **app_kwargs) -> None:
+        self.app = ServeApp(cache_dir, **app_kwargs)
+        self.server = make_server(self.app, "127.0.0.1", 0)
+        self.url = f"http://127.0.0.1:{self.server.server_address[1]}"
+        self.client = ServeClient(self.url, timeout=10.0)
+        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+
+    def close(self, shutdown_app: bool = True) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+        if shutdown_app:
+            self.app.shutdown()
+
+
+@pytest.fixture
+def stack(tmp_path):
+    s = Stack(tmp_path / "cache")
+    yield s
+    s.close()
+
+
+def run_runner_thread(url: str, max_jobs: int = 1, **kwargs) -> threading.Thread:
+    """A TuningRunner draining ``max_jobs`` jobs on a daemon thread."""
+    runner = TuningRunner(url, poll=0.02, log=io.StringIO(), **kwargs)
+    thread = threading.Thread(
+        target=runner.run_forever, kwargs={"max_jobs": max_jobs}, daemon=True
+    )
+    thread.runner = runner  # so tests can stop() it on failure paths
+    thread.start()
+    return thread
+
+
+class TestHttpLayer:
+    def test_healthz(self, stack):
+        health = stack.client.healthz()
+        assert health["ok"] is True
+        assert health["jobs"]["pending"] == 0
+        assert health["active_leases"] == 0
+
+    def test_unknown_route_404(self, stack):
+        with pytest.raises(ServeError) as excinfo:
+            stack.client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_non_json_body_400(self, stack):
+        request = urllib.request.Request(
+            stack.url + "/jobs", data=b"definitely not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_submit_validation(self, stack):
+        client = stack.client
+        for bad in (
+            {},  # no network
+            {"network": "bert_tiny", "flavor": "spicy"},  # unknown field
+            {"network": "no_such_network"},
+            {"network": "bert_tiny", "method": "bogus"},
+            {"network": "bert_tiny", "rounds": "many"},
+            {"network": "bert_tiny", "method": "tlp"},  # needs pretrained
+        ):
+            with pytest.raises(ServeError) as excinfo:
+                client._request("POST", "/jobs", body=bad)
+            assert excinfo.value.status == 400
+
+    def test_bad_lease_ttl_does_not_strand_job(self, stack):
+        client = stack.client
+        job_id = client.submit("bert_tiny", **SPEC)
+        for bad_ttl in (-5, 0, "soon"):
+            with pytest.raises(ServeError) as excinfo:
+                client.lease("r1", ttl=bad_ttl)
+            assert excinfo.value.status == 400
+        # the job was never claimed (or was released): still claimable
+        assert client.status(job_id).state is JobState.PENDING
+
+    def test_result_before_done_409_and_unknown_404(self, stack):
+        job_id = stack.client.submit("bert_tiny", **SPEC)
+        with pytest.raises(ServeError) as excinfo:
+            stack.client.result(job_id)
+        assert excinfo.value.status == 409
+        assert excinfo.value.payload["state"] == "pending"
+        with pytest.raises(ServeError) as excinfo:
+            stack.client.status("job-9999-nope")
+        assert excinfo.value.status == 404
+
+
+class TestEndToEnd:
+    def test_submit_run_result_best_and_warm_start(self, stack):
+        """Acceptance core: SDK submit -> remote runner -> result/best,
+        then a second identical job warm-starts from wire seed rows."""
+        client = stack.client
+        first_id = client.submit("bert_tiny", **SPEC)
+        thread = run_runner_thread(stack.url)
+        status = client.wait(first_id, timeout=120, poll=0.05)
+        thread.join(timeout=10)
+        assert status.state is JobState.DONE
+        assert status.progress is not None
+        assert status.progress["round"] == SPEC["rounds"]
+
+        first = client.result(first_id)
+        assert first["fresh_trials"] > 0
+        assert first["seeded_trials"] == 0
+        assert first["rounds_completed"] == SPEC["rounds"]
+        assert first["best"]
+
+        best = client.best("bert_tiny", top_k_tasks=1)
+        assert best["complete"]
+        assert float(best["tuned_latency"]) == pytest.approx(
+            float(first["final_latency"])
+        )
+
+        # round 2: the store's rows ride the lease to the next runner
+        second_id = client.submit("bert_tiny", **SPEC)
+        thread = run_runner_thread(stack.url)
+        client.wait(second_id, timeout=120, poll=0.05)
+        thread.join(timeout=10)
+        second = client.result(second_id)
+        assert second["seeded_trials"] > 0
+        assert second["fresh_trials"] < first["fresh_trials"]
+        assert float(second["final_latency"]) <= float(first["final_latency"])
+
+    def test_progress_and_cancel_over_protocol(self, stack):
+        """Deterministic wire walk: progress shows while running, DELETE
+        flips the heartbeat's cancel flag, completion lands cancelled."""
+        client = stack.client
+        job_id = client.submit("bert_tiny", rounds=5, scale="smoke", top_k_tasks=1)
+        leased = client.lease("fake-runner")
+        assert leased is not None and leased["job"]["job_id"] == job_id
+        assert leased["seed_rows"] == []
+
+        beat = client.heartbeat(
+            leased["lease_id"],
+            "fake-runner",
+            progress={"round": 1, "rounds": 5, "trials": 10},
+        )
+        assert beat["cancel"] is False
+        status = client.status(job_id)
+        assert status.state is JobState.RUNNING  # progress visible mid-run
+        assert status.runner == "fake-runner"
+        assert status.progress == {"round": 1, "rounds": 5, "trials": 10}
+
+        assert client.cancel(job_id) is JobState.RUNNING  # cooperative
+        assert client.status(job_id).cancel_requested
+        beat = client.heartbeat(leased["lease_id"], "fake-runner")
+        assert beat["cancel"] is True  # the runner learns on its next beat
+
+        done = client.complete(
+            leased["lease_id"],
+            "fake-runner",
+            job_id,
+            result={"final_latency": 1.0, "rounds_completed": 1},
+            records=[],
+        )
+        assert done["state"] == "cancelled"
+        result = client.result(job_id)  # partial results are served
+        assert result["rounds_completed"] == 1
+
+    def test_cancel_real_runner_mid_round(self, stack):
+        """Acceptance: DELETE cancels a running job within one round."""
+        client = stack.client
+        # enough rounds that the job cannot finish before the cancel
+        job_id = client.submit("bert_tiny", rounds=200, scale="smoke", top_k_tasks=1)
+        thread = run_runner_thread(stack.url)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status = client.status(job_id)
+            if status.progress is not None:  # at least one round done
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("runner never reported progress")
+        client.cancel(job_id)
+        status = client.wait(job_id, timeout=60, poll=0.05)
+        thread.join(timeout=10)
+        assert status.state is JobState.CANCELLED
+        result = client.result(job_id)
+        assert 0 < result["rounds_completed"] < 200
+        assert result["stopped_early"]
+
+    def test_wrong_runner_heartbeat_409(self, stack):
+        client = stack.client
+        client.submit("bert_tiny", **SPEC)
+        leased = client.lease("runner-a")
+        with pytest.raises(ServeError) as excinfo:
+            client.heartbeat(leased["lease_id"], "runner-b")
+        assert excinfo.value.status == 409
+
+
+class TestLeaseExpiry:
+    def test_dead_runner_requeues_and_another_finishes(self, tmp_path):
+        """Acceptance: killing a runner mid-lease requeues the job and a
+        second runner completes it (clock-driven, no sleeping)."""
+        clock = FakeClock()
+        stack = Stack(tmp_path / "cache", lease_ttl=30.0, clock=clock)
+        try:
+            client = stack.client
+            job_id = client.submit("bert_tiny", **SPEC)
+            leased = client.lease("doomed-runner")
+            assert leased["job"]["job_id"] == job_id
+            assert client.status(job_id).state is JobState.RUNNING
+            assert client.status(job_id).attempts == 1
+
+            clock.advance(31.0)  # the runner dies: no more heartbeats
+            health = client.healthz()  # any reaping request notices
+            assert health["active_leases"] == 0
+            status = client.status(job_id)
+            assert status.state is JobState.PENDING  # requeued
+            assert status.attempts == 0  # expiry refunds the attempt
+
+            with pytest.raises(ServeError) as excinfo:
+                client.heartbeat(leased["lease_id"], "doomed-runner")
+            assert excinfo.value.status == 410  # late beat: lease is gone
+
+            thread = run_runner_thread(stack.url)
+            final = client.wait(job_id, timeout=120, poll=0.05)
+            thread.join(timeout=10)
+            assert final.state is JobState.DONE
+            assert final.attempts == 1
+            assert client.result(job_id)["fresh_trials"] > 0
+        finally:
+            stack.close()
+
+
+class TestRestartSurvival:
+    def test_ledger_and_results_survive_restart(self, tmp_path):
+        cache = tmp_path / "cache"
+        stack = Stack(cache)
+        done_id = stack.client.submit("bert_tiny", **SPEC)
+        thread = run_runner_thread(stack.url)
+        stack.client.wait(done_id, timeout=120, poll=0.05)
+        thread.join(timeout=10)
+        stale_id = stack.client.submit("gpt2", **SPEC)
+        stack.client.lease("about-to-die")  # claimed, never finished
+        assert stack.client.status(stale_id).state is JobState.RUNNING
+        stack.close(shutdown_app=False)  # crash: no graceful shutdown
+
+        reborn = Stack(cache)
+        try:
+            client = reborn.client
+            # finished work is still served, straight from disk
+            assert client.status(done_id).state is JobState.DONE
+            assert client.result(done_id)["fresh_trials"] > 0
+            # the orphaned running job came back as claimable work
+            assert client.status(stale_id).state is JobState.PENDING
+            thread = run_runner_thread(reborn.url)
+            final = client.wait(stale_id, timeout=120, poll=0.05)
+            thread.join(timeout=10)
+            assert final.state is JobState.DONE
+        finally:
+            reborn.close()
+
+
+class TestLeaseTable:
+    def test_grant_heartbeat_expire(self):
+        clock = FakeClock()
+        table = LeaseTable(ttl=10.0, clock=clock)
+        lease = table.grant("job-1", "runner-1")
+        clock.advance(8.0)
+        table.heartbeat(lease.lease_id, "runner-1")  # extends to t=18
+        clock.advance(8.0)
+        assert table.expired() == []  # t=16 < 18: still alive
+        clock.advance(3.0)
+        assert [dead.job_id for dead in table.expired()] == ["job-1"]
+        with pytest.raises(KeyError):
+            table.heartbeat(lease.lease_id, "runner-1")
+
+    def test_drain_pops_everything(self):
+        table = LeaseTable(ttl=10.0, clock=FakeClock())
+        table.grant("job-1", "r1")
+        table.grant("job-2", "r2")
+        assert {lease.job_id for lease in table.drain()} == {"job-1", "job-2"}
+        assert table.active() == 0
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            LeaseTable(ttl=0)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestCliProcesses:
+    def test_server_and_runner_as_separate_processes(self, tmp_path):
+        """Acceptance: real ``python -m repro.serve server`` + a separate
+        runner process complete a job; SIGTERM shuts the server down
+        gracefully (ledger flushed)."""
+        port = _free_port()
+        cache = tmp_path / "cache"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src, env.get("PYTHONPATH")) if part
+        )
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "server",
+                "--port",
+                str(port),
+                "--cache-dir",
+                str(cache),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        runner = None
+        try:
+            client = ServeClient(f"http://127.0.0.1:{port}", timeout=10.0)
+            for _ in range(100):  # wait for the socket to come up
+                try:
+                    assert client.healthz()["ok"]
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            else:
+                pytest.fail("server process never became healthy")
+
+            job_id = client.submit("bert_tiny", **SPEC)
+            runner = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.serve",
+                    "runner",
+                    "--server",
+                    f"http://127.0.0.1:{port}",
+                    "--max-jobs",
+                    "1",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+            )
+            status = client.wait(job_id, timeout=180, poll=0.1)
+            assert status.state is JobState.DONE
+            assert client.result(job_id)["fresh_trials"] > 0
+            assert runner.wait(timeout=30) == 0  # exits after --max-jobs
+
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=15) == 0
+            ledger = (cache / "jobs.jsonl").read_text()
+            assert json.loads(ledger.splitlines()[0])["state"] == "done"
+        finally:
+            for proc in (runner, server):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)

@@ -210,6 +210,75 @@ class TestScaleValidation:
             TuningService(tmp_path).submit("bert_tiny", method="tlp")
 
 
+class TestSchemaMigration:
+    def _v0_row(self, record) -> dict:
+        """What a pre-versioning (v0) writer persisted for this trial."""
+        row = record.to_dict()
+        del row["v"]
+        del row["config_key"]
+        row["time"] = row.pop("latency")
+        row["config"] = dict(row["config"])
+        row["config"]["tiles"] = {
+            axis: factors for axis, factors in row["config"]["tiles"]
+        }
+        return row
+
+    def test_v0_rows_upgrade_in_place_on_open(self, matmul_task, rng, tmp_path):
+        """A v-1 fixture file loads, and the file itself is rewritten in
+        the current schema instead of the rows being silently dropped."""
+        records = _records(matmul_task, rng, [2e-3, 1e-3])
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.root.mkdir(parents=True, exist_ok=True)
+        with store.path_for(key).open("w") as fh:
+            for rec in records:
+                fh.write(json.dumps(self._v0_row(rec)) + "\n")
+
+        loaded = store.load_records(key, {matmul_task.key: matmul_task.space})
+        assert sorted(r.latency for r in loaded) == [1e-3, 2e-3]
+        assert {r.prog.config.key for r in loaded} == {
+            r.prog.config.key for r in records
+        }
+        # the file now holds current-schema rows (the upgrade persisted)
+        on_disk = [
+            json.loads(line)
+            for line in store.path_for(key).read_text().splitlines()
+        ]
+        assert all(row["v"] == 1 for row in on_disk)
+        assert all("config_key" in row and "latency" in row for row in on_disk)
+        # dedup sees upgraded identities: re-appending writes nothing
+        assert store.append(key, records) == 0
+
+    def test_unmigratable_and_newer_rows_kept_as_is(
+        self, matmul_task, rng, tmp_path
+    ):
+        (rec,) = _records(matmul_task, rng, [1e-3])
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.root.mkdir(parents=True, exist_ok=True)
+        future = rec.to_dict()
+        future["v"] = 999
+        broken_v0 = {"time": 1e-3}  # no config: cannot upgrade
+        with store.path_for(key).open("w") as fh:
+            fh.write(json.dumps(future) + "\n")
+            fh.write(json.dumps(broken_v0) + "\n")
+        assert store.load_rows(key) == []  # neither is loadable here
+        lines = store.path_for(key).read_text().splitlines()
+        assert len(lines) == 2  # ...but both survive on disk untouched
+        assert json.loads(lines[0])["v"] == 999
+
+    def test_append_rows_wire_ingest(self, matmul_task, rng, tmp_path):
+        records = _records(matmul_task, rng, [2e-3, 1e-3])
+        rows = [r.to_dict() for r in records]
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        assert store.append_rows(key, rows) == 2
+        assert store.append_rows(key, rows) == 0  # dedup on identity
+        assert store.append_rows(key, [{"latency": 1.0}]) == 0  # no identity
+        loaded = store.load_records(key, {matmul_task.key: matmul_task.space})
+        assert sorted(r.latency for r in loaded) == [1e-3, 2e-3]
+
+
 class TestJobQueue:
     def test_priority_then_fifo(self):
         queue = JobQueue()
@@ -233,6 +302,81 @@ class TestJobQueue:
         assert queue.get(job_id).state is JobState.FAILED
         assert queue.claim() is None
         assert queue.get(job_id).error == "boom again"
+
+    def test_requeue_keeps_submission_order(self):
+        """Regression: equal-priority tie-break is submission order — a
+        requeued job resumes its original slot, not the back of the line."""
+        queue = JobQueue()
+        first = queue.submit(TuneJob("bert_tiny"))
+        queue.submit(TuneJob("gpt2"))
+        assert queue.claim().job_id == first
+        queue.mark_failed(first, "transient")  # requeued (retry budget left)
+        # submission order says bert_tiny still goes before gpt2
+        assert queue.claim().job_id == first
+
+    def test_cancel_pending_is_immediate(self):
+        queue = JobQueue()
+        job_id = queue.submit(TuneJob("bert_tiny"))
+        assert queue.cancel(job_id) is JobState.CANCELLED
+        assert queue.claim() is None  # stale heap entry is skipped
+        assert queue.counts()["cancelled"] == 1
+
+    def test_cancel_running_is_cooperative(self):
+        queue = JobQueue()
+        job_id = queue.submit(TuneJob("bert_tiny"))
+        queue.claim()
+        assert queue.cancel(job_id) is JobState.RUNNING  # flag only
+        assert queue.cancel_requested(job_id)
+        queue.mark_done(job_id)  # worker reached its stop point
+        assert queue.get(job_id).state is JobState.CANCELLED
+
+    def test_release_refunds_attempt(self):
+        queue = JobQueue()
+        job_id = queue.submit(TuneJob("bert_tiny"))
+        job = queue.claim(runner_id="r1")
+        assert job.attempts == 1 and job.runner_id == "r1"
+        queue.release(job_id)  # lease expired: not the job's fault
+        job = queue.get(job_id)
+        assert job.state is JobState.PENDING
+        assert job.attempts == 0 and job.runner_id is None
+        assert queue.claim().job_id == job_id  # claimable again
+
+    def test_release_honors_pending_cancel(self):
+        queue = JobQueue()
+        job_id = queue.submit(TuneJob("bert_tiny"))
+        queue.claim()
+        queue.cancel(job_id)
+        queue.release(job_id)
+        assert queue.get(job_id).state is JobState.CANCELLED
+        assert queue.claim() is None
+
+    def test_close_stops_claims_keeps_pending(self):
+        queue = JobQueue()
+        queue.submit(TuneJob("bert_tiny"))
+        queue.close()
+        assert queue.claim() is None
+        assert queue.counts()["pending"] == 1  # requeueable in the ledger
+
+    def test_restore_requeues_running(self, tmp_path):
+        queue = JobQueue()
+        running_id = queue.submit(TuneJob("bert_tiny"))
+        queue.submit(TuneJob("gpt2"))
+        done_id = queue.submit(TuneJob("llama"))
+        queue.claim()  # bert_tiny -> running (then the process "dies")
+        for _ in range(2):
+            queue.claim()
+        queue.mark_done(done_id)
+        queue.save_ledger(tmp_path / "jobs.jsonl")
+
+        fresh = JobQueue()
+        claimable = fresh.restore(JobQueue.load_ledger(tmp_path / "jobs.jsonl"))
+        assert claimable == 2
+        assert fresh.get(running_id).state is JobState.PENDING
+        # the crashed claim's attempt is refunded (like release())
+        assert fresh.get(running_id).attempts == 0
+        assert fresh.get(done_id).state is JobState.DONE
+        # submission order survives the round trip
+        assert fresh.claim().job_id == running_id
 
     def test_deterministic_seed_from_spec(self):
         a = TuneJob("bert_tiny", device="t4", rounds=4)
@@ -345,6 +489,7 @@ class TestServiceFacade:
             "running": 0,
             "done": 1,
             "failed": 0,
+            "cancelled": 0,
         }
 
         summary = service.best_schedule("bert_tiny", top_k_tasks=1)
@@ -358,6 +503,28 @@ class TestServiceFacade:
 
         rows = service.export()
         assert rows and all(row["store"]["method"] == "pruner" for row in rows)
+
+    def test_cancel_pending_job_never_runs(self, tmp_path):
+        service = TuningService(tmp_path)
+        job_id = service.submit("bert_tiny", rounds=2, scale="smoke", top_k_tasks=1)
+        assert service.cancel(job_id) == "cancelled"
+        states = service.run()  # drains nothing: the job is cancelled
+        assert states[job_id] == "cancelled"
+        with pytest.raises(SearchError, match="cancelled"):
+            service.result(job_id)
+        with pytest.raises(SearchError, match="unknown job id"):
+            service.cancel("job-0000-nope")
+
+    def test_drain_leaves_pending_in_ledger(self, tmp_path):
+        service = TuningService(tmp_path, workers=1)
+        job_id = service.submit("bert_tiny", rounds=1, scale="smoke", top_k_tasks=1)
+        service.request_drain()
+        states = service.run()  # claims nothing, still flushes the ledger
+        assert states[job_id] == "pending"
+        from repro.service.server import LEDGER_NAME
+
+        (entry,) = JobQueue.load_ledger(service.store.root / LEDGER_NAME)
+        assert entry.state is JobState.PENDING
 
     def test_submit_rejects_unknown_scale(self, tmp_path):
         service = TuningService(tmp_path)
