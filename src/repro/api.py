@@ -29,6 +29,7 @@ Methods (paper Section 5/6):
 
 from __future__ import annotations
 
+import functools
 import math
 from collections.abc import Iterable
 from pathlib import Path
@@ -45,7 +46,7 @@ from repro.config import (
 from repro.core.moa import MomentumAdapter
 from repro.costmodel import GBDTModel, PaCM, TenSetMLP, TLPModel
 from repro.costmodel.base import CostModel
-from repro.errors import SearchError
+from repro.errors import CostModelError, SearchError
 from repro.hardware.device import DeviceSpec, get_device
 from repro.hardware.measure import MeasureRunner
 from repro.hardware.simulator import GroundTruthSimulator
@@ -130,18 +131,40 @@ def tasks_for(
     return tasks
 
 
-def _default_model(method: str, seed: int) -> CostModel:
+def _model_class(method: str) -> type[CostModel]:
+    """The cost-model class a method tunes with."""
     if method == "ansor":
-        return GBDTModel()
+        return GBDTModel
     if method in ("tensetmlp", "metaschedule"):
-        return TenSetMLP(seed=seed)
+        return TenSetMLP
     if method == "tlp":
-        return TLPModel(seed=seed)
-    if method == "pruner-no-sf":
-        return PaCM(use_statement=False, seed=seed)
-    if method == "pruner-no-tdf":
-        return PaCM(use_dataflow=False, seed=seed)
-    return PaCM(seed=seed)
+        return TLPModel
+    return PaCM  # every pruner variant verifies with PaCM
+
+
+@functools.lru_cache(maxsize=None)  # KNOWN_METHODS is finite
+def model_kind(method: str) -> str:
+    """The cost-model kind a method tunes with.
+
+    Half of the checkpoint identity (the other half is the record-store
+    key): the serving layer uses it to pick which checkpoint rides a
+    lease, and the cache path uses it to load a compatible warm start.
+    A class-attribute read — no model is constructed.
+    """
+    return _model_class(resolve_method(method)).kind
+
+
+def _default_model(method: str, seed: int) -> CostModel:
+    cls = _model_class(method)
+    if cls is GBDTModel:
+        return GBDTModel()
+    if cls is PaCM:
+        return PaCM(
+            use_statement=method != "pruner-no-sf",
+            use_dataflow=method != "pruner-no-tdf",
+            seed=seed,
+        )
+    return cls(seed=seed)
 
 
 def _mode_for(method: str) -> str:
@@ -209,6 +232,8 @@ def build_tuner(
     include_fixed: bool = True,
     initial_records: Iterable[TuningRecord] | None = None,
     tasks: list[TuningTask] | None = None,
+    initial_model_state: dict | None = None,
+    initial_model_trained_on: int = 0,
 ) -> Tuner:
     """Assemble a :class:`~repro.search.tuner.Tuner` for one method.
 
@@ -217,7 +242,12 @@ def build_tuner(
     ``initial_records`` warm-starts the tuner's record log (the
     ``cache_dir`` fast path of :func:`tune_subgraphs`).  ``tasks``
     skips task construction when the caller already built them via
-    :func:`tasks_for`.
+    :func:`tasks_for`.  ``initial_model_state`` warm-starts the cost
+    model from a persisted checkpoint (``CostModel.save_state`` dict)
+    and ``initial_model_trained_on`` is the trial count it was trained
+    on (so the tuner knows whether the seed records outgrew it);
+    explicit ``pretrained`` parameters win over it, and an incompatible
+    state falls back to a cold start.
     """
     if isinstance(device, str):
         device = get_device(device)
@@ -236,6 +266,8 @@ def build_tuner(
         if pretrained is None:
             raise SearchError(f"{method} needs pretrained model parameters")
         model.set_params(pretrained)
+    if pretrained is not None:
+        initial_model_state = None  # explicitly supplied parameters win
 
     if tasks is None:
         tasks = tasks_for(method, subgraphs, device, tensorcore=tensorcore)
@@ -259,6 +291,8 @@ def build_tuner(
         fixed_latency=fixed,
         rng=make_rng(seed + 1),
         initial_records=initial_records,
+        initial_model_state=initial_model_state,
+        initial_model_trained_on=initial_model_trained_on,
     )
 
 
@@ -271,6 +305,7 @@ def tune_subgraphs(
     cache_dir: str | Path | None = None,
     progress: ProgressFn | None = None,
     should_stop: StopFn | None = None,
+    model_cache: bool = True,
     **kwargs,
 ) -> TuneResult:
     """Tune a set of subgraphs and return the result.
@@ -279,7 +314,11 @@ def tune_subgraphs(
     same ``(workload set, device, method)`` warm-start the tuner — known
     configs are not re-measured and count toward the run's trial budget
     (``rounds * measure_per_round``) — and this run's fresh records are
-    written back for the next one.
+    written back for the next one.  The cost model warm-starts the same
+    way: the freshest compatible checkpoint under the cache dir is
+    loaded before round 0 and the trained model is checkpointed back
+    after the run (``model_cache=False`` disables just the model half;
+    records still seed).
 
     ``progress`` and ``should_stop`` are forwarded to
     :meth:`~repro.search.tuner.Tuner.tune`: per-round progress
@@ -293,6 +332,11 @@ def tune_subgraphs(
         tuner = build_tuner(method, subgraphs, device, search=search, **kwargs)
         return tuner.tune(rounds, progress=progress, should_stop=should_stop)
 
+    from repro.service.models import (
+        ModelStore,
+        state_from_wire,
+        wire_trained_trials,
+    )
     from repro.service.store import RecordStore, store_key_for_tasks
 
     if isinstance(device, str):
@@ -303,6 +347,23 @@ def tune_subgraphs(
     store = RecordStore(cache_dir)
     key = store_key_for_tasks(tasks, method)
     initial = store.load_records(key, {t.key: t.space for t in tasks})
+    # Checkpoints only serve the online modes: offline/finetune/moa
+    # methods require explicit pretrained= parameters, which win over
+    # any checkpoint — loading (full base64 decode) and re-saving for
+    # them would only churn dead files.
+    use_models = model_cache and _mode_for(method) == "online"
+    models = ModelStore(cache_dir) if use_models else None
+    initial_state, initial_trained = None, 0
+    if models is not None:
+        # one consistent read: state and its rank must come from the
+        # same file version (and one LRU touch, not two)
+        wire = models.load_wire(key, model_kind(method))
+        if wire is not None:
+            try:
+                initial_state = state_from_wire(wire)
+                initial_trained = wire_trained_trials(wire)
+            except CostModelError:
+                initial_state = None  # malformed on disk: cold start
     tuner = build_tuner(
         method,
         subgraphs,
@@ -310,6 +371,8 @@ def tune_subgraphs(
         search=search,
         initial_records=initial,
         tasks=tasks,
+        initial_model_state=initial_state,
+        initial_model_trained_on=initial_trained,
         **kwargs,
     )
     result = tuner.tune(
@@ -321,6 +384,12 @@ def tune_subgraphs(
     # seeded records sit at the front of the log and are already on
     # disk; persist only the fresh tail
     store.append(key, result.records.records[result.seeded_trials :])
+    if models is not None:
+        state = tuner.checkpoint()
+        if state is not None:
+            # ranked by what the model was actually fitted on — not the
+            # log size, which includes rows the model may never have seen
+            models.save_state(key, state, trained_trials=tuner.model_trained_on)
     return result
 
 

@@ -27,12 +27,22 @@ from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 
 
+#: Version of the state dict :meth:`CostModel.save_state` produces —
+#: bump when its layout changes incompatibly.  Checkpoint persistence
+#: and wire transport live in :mod:`repro.service.models`.
+MODEL_STATE_VERSION = 1
+
+
 def make_labels(
     latencies: np.ndarray, group_keys: list[str]
 ) -> tuple[np.ndarray, list[np.ndarray]]:
     """Normalized throughput labels + per-task index groups.
 
-    Invalid measurements (inf latency) get label 0.
+    Invalid measurements (inf latency) get label 0.  Groups whose
+    measurements are *all* invalid carry no ranking signal, so they are
+    left out of the returned index groups entirely (their labels stay
+    0): feeding an all-zero-label group to ``lambdarank_loss`` would
+    train on pure noise.
     """
     latencies = np.asarray(latencies, dtype=np.float64)
     labels = np.zeros(len(latencies))
@@ -44,11 +54,12 @@ def make_labels(
         idx_arr = np.asarray(idx)
         lat = latencies[idx_arr]
         finite = lat[np.isfinite(lat)]
-        if len(finite):
-            best = finite.min()
-            with np.errstate(divide="ignore", invalid="ignore"):
-                norm = np.where(np.isfinite(lat), best / lat, 0.0)
-            labels[idx_arr] = norm
+        if not len(finite):
+            continue
+        best = finite.min()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            norm = np.where(np.isfinite(lat), best / lat, 0.0)
+        labels[idx_arr] = norm
         group_arrays.append(idx_arr)
     return labels, group_arrays
 
@@ -58,6 +69,12 @@ class CostModel(ABC):
 
     kind: str = "base"  # time-accounting key (see repro.timemodel)
     feature_kind: str = "statement"
+    #: whether :meth:`fit` continues from the current parameters (the
+    #: NN models keep optimizing the live weights) or rebuilds from
+    #: scratch (GBDT refits its trees).  Decides whether a restored
+    #: checkpoint's evidence count survives a refit when ranking the
+    #: model for the next checkpoint.
+    fit_extends_state: bool = True
 
     @abstractmethod
     def predict(self, progs: list[LoweredProgram]) -> np.ndarray:
@@ -89,6 +106,76 @@ class CostModel(ABC):
 
     def set_params(self, params: dict[str, np.ndarray]) -> None:  # pragma: no cover
         raise CostModelError(f"{type(self).__name__} has no parameters")
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (persisted by repro.service.models.ModelStore)
+    # ------------------------------------------------------------------
+    def _arch(self) -> dict:
+        """JSON-safe architecture metadata stored with checkpoints.
+
+        Everything needed to decide whether a saved state fits this
+        instance.  ``seed`` entries are provenance only — the loaded
+        parameters overwrite any seed-dependent initialisation, so
+        :meth:`load_state` ignores them when checking compatibility.
+        """
+        return {}
+
+    def _state_params(self) -> dict[str, np.ndarray]:
+        """The learned arrays a checkpoint carries (default: MoA params)."""
+        return self.get_params()
+
+    def _load_params(self, params: dict[str, np.ndarray]) -> None:
+        """Restore the arrays :meth:`_state_params` produced."""
+        self.set_params(params)
+
+    def save_state(self) -> dict:
+        """Complete serializable state: learned arrays + identity metadata.
+
+        The result round-trips through :meth:`load_state` on a freshly
+        constructed model of the same architecture with bit-identical
+        predictions.  Models without learned state (e.g. RandomModel)
+        raise :class:`~repro.errors.CostModelError`.
+        """
+        return {
+            "state_v": MODEL_STATE_VERSION,
+            "kind": self.kind,
+            "feature_kind": self.feature_kind,
+            "arch": self._arch(),
+            "params": self._state_params(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`save_state` dict into this model.
+
+        Raises :class:`~repro.errors.CostModelError` when the state is
+        malformed or was saved by a different model kind, feature kind,
+        state version, or architecture — callers treat that as "no
+        compatible checkpoint" and cold-start instead.
+        """
+        try:
+            version = int(state.get("state_v", -1))
+        except (TypeError, ValueError):
+            raise CostModelError("malformed model state: bad state_v") from None
+        if version != MODEL_STATE_VERSION:
+            raise CostModelError(
+                f"model state version {version} != {MODEL_STATE_VERSION}"
+            )
+        for field, own in (("kind", self.kind), ("feature_kind", self.feature_kind)):
+            if state.get(field) != own:
+                raise CostModelError(
+                    f"checkpoint {field} {state.get(field)!r} does not match "
+                    f"this model's {own!r}"
+                )
+        theirs = {k: v for k, v in (state.get("arch") or {}).items() if k != "seed"}
+        ours = {k: v for k, v in self._arch().items() if k != "seed"}
+        if theirs != ours:
+            raise CostModelError(
+                f"architecture mismatch: checkpoint {theirs} vs model {ours}"
+            )
+        params = state.get("params")
+        if not isinstance(params, dict):
+            raise CostModelError("malformed model state: no params dict")
+        self._load_params(params)
 
 
 class NNCostModel(CostModel):
@@ -200,9 +287,33 @@ class NNCostModel(CostModel):
         params = dict(params)
         mu = params.pop("_norm.mu", None)
         sigma = params.pop("_norm.sigma", None)
+        if (mu is None) != (sigma is None):
+            # half a pair means the weights would run with the wrong
+            # (or no) normalization they were trained under
+            raise CostModelError("normalization stats must be a mu/sigma pair")
+        if mu is not None and sigma is not None:
+            mu, sigma = np.asarray(mu), np.asarray(sigma)
+            if mu.ndim != 1 or mu.shape != sigma.shape:
+                raise CostModelError(
+                    f"malformed normalization stats: {mu.shape} vs {sigma.shape}"
+                )
+            # fit() clamps tiny deviations to 1.0, so a legitimate save
+            # never carries sigma <= 0 or non-finite stats — but
+            # (x - mu) / 0 (or NaN anywhere) would turn every
+            # prediction NaN instead of rejecting as cold start.
+            # np.all(> 0) is False for NaN where np.any(<= 0) is not.
+            if not (
+                np.all(np.isfinite(mu)) and np.all(sigma > 0) and np.all(np.isfinite(sigma))
+            ):
+                raise CostModelError(
+                    "normalization stats must be finite with positive sigma"
+                )
+        # load the network first: it validates every name and shape
+        # before committing, so a rejected dict cannot leave this model
+        # with foreign normalization stats and untouched weights
+        self.net.set_params(params)
         if mu is not None and sigma is not None:
             self._feature_norm = (mu.copy(), sigma.copy())
-        self.net.set_params(params)
 
 
 class RandomModel(CostModel):

@@ -13,7 +13,12 @@ import numpy as np
 
 from repro.config import TrainConfig
 from repro.costmodel.base import CostModel, make_labels
-from repro.features.statement import statement_matrix, statement_matrix_batch
+from repro.errors import CostModelError
+from repro.features.statement import (
+    STATEMENT_DIM,
+    statement_matrix,
+    statement_matrix_batch,
+)
 from repro.nn.losses import pairwise_rank_accuracy
 from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
@@ -124,6 +129,9 @@ class GBDTModel(CostModel):
 
     kind = "gbdt"
     feature_kind = "statement"
+    # fit() rebuilds the trees from whatever data it is given — a
+    # restored checkpoint's evidence does not survive a refit
+    fit_extends_state = False
 
     def __init__(
         self,
@@ -154,6 +162,107 @@ class GBDTModel(CostModel):
         for tree in self._trees:
             pred += self.learning_rate * tree.predict(x)
         return pred
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol: the packed tree arrays ARE the learned state
+    # ------------------------------------------------------------------
+    def _arch(self) -> dict:
+        return {
+            "n_trees": self.n_trees,
+            "max_depth": self.max_depth,
+            "learning_rate": self.learning_rate,
+            "min_samples": self.min_samples,
+        }
+
+    def _state_params(self) -> dict[str, np.ndarray]:
+        params: dict[str, np.ndarray] = {"_base": np.array([self._base])}
+        for i, tree in enumerate(self._trees):
+            feature, threshold, left, right, value = tree._pack()
+            params[f"tree.{i:04d}.feature"] = feature.copy()
+            params[f"tree.{i:04d}.threshold"] = threshold.copy()
+            params[f"tree.{i:04d}.left"] = left.copy()
+            params[f"tree.{i:04d}.right"] = right.copy()
+            params[f"tree.{i:04d}.value"] = value.copy()
+        return params
+
+    def _load_params(self, params: dict[str, np.ndarray]) -> None:
+        # Validate everything into locals first, assign at the very end:
+        # checkpoints arrive from disk and from untrusted runners, and a
+        # rejected state must leave the live model untouched (and raise
+        # CostModelError, which warm-start callers treat as cold start).
+        if "_base" not in params:
+            raise CostModelError("GBDT state is missing its base prediction")
+        base_arr = np.asarray(params["_base"]).reshape(-1)
+        if base_arr.size != 1 or not np.isfinite(base_arr[0]):
+            raise CostModelError("GBDT state has a malformed base prediction")
+        indices = sorted(
+            {name.split(".")[1] for name in params if name.startswith("tree.")}
+        )
+        # fit() always emits exactly n_trees trees; a different count is
+        # a truncated or forged envelope.  Zero trees is the one honest
+        # exception: an unfitted model's state.
+        if indices and len(indices) != self.n_trees:
+            raise CostModelError(
+                f"GBDT state has {len(indices)} trees, expected {self.n_trees}"
+            )
+        trees: list[_Tree] = []
+        for idx in indices:
+            arrays = {}
+            for part in ("feature", "threshold", "left", "right", "value"):
+                name = f"tree.{idx}.{part}"
+                if name not in params:
+                    raise CostModelError(f"GBDT state is missing {name}")
+                arrays[part] = np.asarray(params[name]).reshape(-1)
+            lengths = {len(arr) for arr in arrays.values()}
+            if len(lengths) != 1 or 0 in lengths:
+                raise CostModelError(f"GBDT tree {idx} has empty or ragged node arrays")
+            for part, arr in arrays.items():
+                # NaN/inf would escape the int casts below as bare
+                # ValueError/OverflowError, or silently skew predict()
+                if not np.all(np.isfinite(arr)):
+                    raise CostModelError(
+                        f"GBDT tree {idx} has non-finite {part} values"
+                    )
+            (length,) = lengths
+            # Split nodes must point at real children *after* themselves:
+            # out-of-range indices crash predict()'s level walk, and a
+            # cycle (child <= parent) makes its `while True` loop spin
+            # forever.  fit-built trees always append children after the
+            # parent, so strictly-increasing is the exact invariant.
+            split = arrays["feature"].astype(np.int64) >= 0
+            own = np.flatnonzero(split)
+            if len(own) and arrays["feature"].astype(np.int64).max() >= STATEMENT_DIM:
+                raise CostModelError(
+                    f"GBDT tree {idx} splits on out-of-range feature indices"
+                )
+            for side in ("left", "right"):
+                child = arrays[side].astype(np.int64)[split]
+                if len(child) and (
+                    child.max() >= length or (child <= own).any()
+                ):
+                    raise CostModelError(
+                        f"GBDT tree {idx} has cyclic or out-of-range {side} children"
+                    )
+            tree = _Tree(self.max_depth, self.min_samples)
+            tree.nodes = [
+                _Node(
+                    feature=int(f),
+                    threshold=float(t),
+                    left=int(lo),
+                    right=int(hi),
+                    value=float(v),
+                )
+                for f, t, lo, hi, v in zip(
+                    arrays["feature"],
+                    arrays["threshold"],
+                    arrays["left"],
+                    arrays["right"],
+                    arrays["value"],
+                )
+            ]
+            trees.append(tree)
+        self._trees = trees
+        self._base = float(base_arr[0])
 
     def fit(
         self,

@@ -25,6 +25,8 @@ class TenSetMLP(NNCostModel):
     feature_kind = "statement"
 
     def __init__(self, hidden: int = 64, seed: int = 0) -> None:
+        self.hidden = hidden
+        self.seed = seed
         self.net = Sequential(
             Linear(STATEMENT_DIM, hidden, seed=seed),
             ReLU(),
@@ -32,6 +34,9 @@ class TenSetMLP(NNCostModel):
             ReLU(),
             Linear(hidden, 1, seed=seed + 2),
         )
+
+    def _arch(self) -> dict:
+        return {"hidden": self.hidden, "seed": self.seed}
 
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
         return statement_matrix(progs)

@@ -114,12 +114,24 @@ class PaCM(NNCostModel):
         use_dataflow: bool = True,
         seed: int = 0,
     ) -> None:
+        self.d_model = d_model
+        self.use_statement = use_statement
+        self.use_dataflow = use_dataflow
+        self.seed = seed
         self.net = _PaCMNet(
             d_model=d_model,
             use_statement=use_statement,
             use_dataflow=use_dataflow,
             seed=seed,
         )
+
+    def _arch(self) -> dict:
+        return {
+            "d_model": self.d_model,
+            "use_statement": self.use_statement,
+            "use_dataflow": self.use_dataflow,
+            "seed": self.seed,
+        }
 
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
         stmt = statement_matrix(progs)

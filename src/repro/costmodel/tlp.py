@@ -54,7 +54,12 @@ class TLPModel(NNCostModel):
     feature_kind = "primitives"
 
     def __init__(self, d_model: int = 32, seed: int = 0) -> None:
+        self.d_model = d_model
+        self.seed = seed
         self.net = _TLPNet(d_model=d_model, seed=seed)
+
+    def _arch(self) -> dict:
+        return {"d_model": self.d_model, "seed": self.seed}
 
     def featurize(self, progs: list[LoweredProgram]) -> np.ndarray:
         return primitive_tensor(progs)

@@ -43,7 +43,12 @@ class Module:
         return {name: t.data.copy() for name, t in self.named_parameters()}
 
     def set_params(self, params: dict[str, np.ndarray]) -> None:
-        """Load parameters produced by :meth:`get_params`."""
+        """Load parameters produced by :meth:`get_params`.
+
+        Validates every name and shape before touching any tensor, so a
+        mismatched dict (e.g. an incompatible checkpoint) never leaves
+        the module half-loaded.
+        """
         own = dict(self.named_parameters())
         if set(own) != set(params):
             raise CostModelError(
@@ -55,6 +60,15 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{tensor.data.shape} vs {params[name].shape}"
                 )
+            # weights must be floating point: an integer array of the
+            # right shape (possible only via a corrupt checkpoint)
+            # would pass here and crash the optimizer mid-run instead
+            if not np.issubdtype(np.asarray(params[name]).dtype, np.floating):
+                raise CostModelError(
+                    f"non-float parameter array for {name}: "
+                    f"{np.asarray(params[name]).dtype}"
+                )
+        for name, tensor in own.items():
             tensor.data = params[name].copy()
 
     def zero_grad(self) -> None:

@@ -72,26 +72,37 @@ class SearchPolicy(ABC):
     ) -> list[LoweredProgram]:
         """Pick the measurement batch: greedy top + epsilon random.
 
-        With ``eps_greedy > 0`` at least one slot is always random (for
-        ``k > 1``): small measurement rounds used to round the epsilon
-        share down to zero and silently disable exploration.
+        With ``eps_greedy > 0`` exploration never silently shuts off:
+        small measurement rounds used to round the epsilon share down
+        to zero.  For ``k > 1`` at least one slot is always random; for
+        ``k == 1`` there is no room for a dedicated slot, so the single
+        slot goes random with probability ``eps_greedy`` instead — the
+        same expected exploration rate, without turning every round
+        into a random measurement (which is what rounding would do for
+        any ``eps_greedy >= 0.5``).
         """
         k = self.search.measure_per_round
-        n_random = max(0, int(round(k * self.search.eps_greedy)))
-        if self.search.eps_greedy > 0 and k > 1 and n_random == 0:
-            n_random = 1
+        eps = self.search.eps_greedy
+        if k == 1:
+            n_random = 1 if (eps > 0 and rng.random() < eps) else 0
+        else:
+            n_random = max(0, int(round(k * eps)))
+            if eps > 0 and n_random == 0:
+                n_random = 1
         keys = batch.keys()
         order = np.argsort(-np.asarray(scores))
         picked: list[int] = []
         seen: set[str] = set()
         for i in order:
+            # bound checked before appending: with n_random == k (the
+            # k == 1 exploratory round) no greedy pick may leak in
+            if len(picked) >= k - n_random:
+                break
             key = keys[int(i)]
             if key in seen or records.already_measured(self.task.key, key):
                 continue
             seen.add(key)
             picked.append(int(i))
-            if len(picked) >= k - n_random:
-                break
         if n_random:
             pool = [
                 i

@@ -26,6 +26,7 @@ import numpy as np
 from repro.config import ONLINE_TRAIN, TrainConfig
 from repro.core.moa import MomentumAdapter
 from repro.costmodel.base import CostModel
+from repro.errors import CostModelError
 from repro.hardware.measure import MeasureRunner
 from repro.rng import make_rng
 from repro.search.policy import SearchPolicy
@@ -87,6 +88,7 @@ class TuneResult:
     fixed_latency: float = 0.0  # untuned (element-wise) network part
     seeded_trials: int = 0  # records loaded from a store before tuning
     stopped_early: bool = False  # should_stop() ended the run before plan
+    warm_model: bool = False  # cost model restored from a checkpoint
 
     @property
     def final_latency(self) -> float:
@@ -126,6 +128,8 @@ class Tuner:
         fixed_latency: float = 0.0,
         rng: np.random.Generator | None = None,
         initial_records: Iterable[TuningRecord] | None = None,
+        initial_model_state: dict | None = None,
+        initial_model_trained_on: int = 0,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -147,6 +151,33 @@ class Tuner:
         self.records = RecordLog()
         self.scheduler = GradientTaskScheduler(tasks)
         self._round = 0
+        self._model_trained = False
+        #: staleness rank a checkpoint of this model deserves: records
+        #: fitted at the most recent update this run, floored (for
+        #: warm-started models) at the loaded checkpoint's own rank —
+        #: the model keeps that inherited evidence even when the record
+        #: store was compacted below it, and the improved model must
+        #: still be able to replace the stored checkpoint.
+        self.model_trained_on = 0
+        self._inherited_trained_on = 0
+        # Cross-run warm start: restore the model from a persisted
+        # checkpoint (repro.service.models.ModelStore) when one fits.
+        # An incompatible state is a cold start, not an error — the
+        # checkpoint may predate an architecture or feature change.
+        # MoA re-initialises the model from its siamese parameters every
+        # update, so a restored state would not survive the first round.
+        self.warm_model = False
+        if initial_model_state is not None and mode != "moa":
+            try:
+                self.model.load_state(initial_model_state)
+                self.warm_model = True
+                # models whose fit() rebuilds from scratch (GBDT) lose
+                # the checkpoint's evidence at the first retrain, so it
+                # must not inflate their future checkpoint rank
+                if self.model.fit_extends_state:
+                    self._inherited_trained_on = max(0, initial_model_trained_on)
+            except CostModelError:
+                pass
         # Warm start: seed the log with prior records so policies skip
         # re-measuring known configs and GA seeding starts from the
         # cached bests (the record-reuse fast path of repro.service).
@@ -156,13 +187,20 @@ class Tuner:
         # A non-empty log makes policies take their model-guided branch,
         # so the model must not be blank: train it on the seeded records
         # up front.  Offline/finetune models arrive pre-trained, so they
-        # keep even a tiny seed; online/moa models start blank, and with
-        # too few records to train on the seed is discarded — a cold
-        # start beats ranking round one with an unfitted model.
+        # keep even a tiny seed.  A checkpoint-restored model skips the
+        # round-0 retrain only when it was trained on at least as much
+        # evidence as the seed holds (``initial_model_trained_on``) —
+        # the record store can outgrow a checkpoint when intervening
+        # runs disabled the model cache or had their checkpoints
+        # rejected.  Blank online/moa models with too few records to
+        # train on discard the seed — a cold start beats ranking round
+        # one with an unfitted model.
         if self.seeded_trials > 0 and self.mode != "offline":
-            if len(self.records) >= MIN_TRAIN_RECORDS:
+            if self.warm_model and initial_model_trained_on >= len(self.records):
+                pass  # the checkpoint already encodes this evidence
+            elif len(self.records) >= MIN_TRAIN_RECORDS:
                 self._update_model()
-            elif self.mode in ("online", "moa"):
+            elif not self.warm_model and self.mode in ("online", "moa"):
                 self.records = RecordLog()
                 self.seeded_trials = 0
 
@@ -224,6 +262,7 @@ class Tuner:
             fixed_latency=self.fixed_latency,
             seeded_trials=self.seeded_trials,
             stopped_early=stopped,
+            warm_model=self.warm_model,
         )
 
     def step(self, max_trials: int | None = None) -> None:
@@ -254,6 +293,25 @@ class Tuner:
         if self.mode != "offline" and self._round % self.train_every == 0:
             self._update_model()
 
+    def checkpoint(self) -> dict | None:
+        """Serializable cost-model state worth persisting, or None.
+
+        None when the model never trained *this run*: a random
+        initialisation would poison later runs' warm starts, and a
+        warm-started model that never retrained is already in the store
+        — re-saving it (worse: re-ranking it with this run's record
+        count) could make staleness arbitration reject genuinely
+        better-trained checkpoints.  Also None when the model has no
+        serializable state at all (e.g. RandomModel).  Callers pair the
+        state with :attr:`model_trained_on` as its staleness rank.
+        """
+        if not self._model_trained:
+            return None
+        try:
+            return self.model.save_state()
+        except CostModelError:
+            return None
+
     # ------------------------------------------------------------------
     def _update_model(self) -> None:
         progs, lats, keys = self.records.training_data()
@@ -266,6 +324,8 @@ class Tuner:
             self.adapter.update_from(self.model)  # 3. Momentum update
         else:  # online / finetune: keep training the live model
             self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
+        self._model_trained = True
+        self.model_trained_on = max(len(progs), self._inherited_trained_on)
         self.clock.charge_training(self.model.kind, len(progs), self.train.epochs)
 
     def _curve_point(self) -> CurvePoint:

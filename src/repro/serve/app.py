@@ -42,6 +42,7 @@ from repro.serve.protocol import (
     wire_float,
 )
 from repro.service.jobs import TERMINAL_STATES, JobQueue, JobState
+from repro.service.models import wire_trained_trials
 from repro.service.server import LEDGER_NAME, TuningService
 from repro.service.store import (
     StoreKey,
@@ -86,6 +87,9 @@ class ServeApp:
     clock:
         Injectable monotonic clock for the lease table (tests expire
         leases without sleeping).
+    checkpoints:
+        Ship cost-model checkpoints on leases and store the ones
+        runners return (on by default).
     """
 
     def __init__(
@@ -94,8 +98,10 @@ class ServeApp:
         lease_ttl: float | None = None,
         clock=None,
         verbose: bool = False,
+        checkpoints: bool = True,
     ) -> None:
         self.verbose = verbose
+        self.checkpoints = checkpoints
         self.service = TuningService(cache_dir)
         lease_kwargs = {}
         if lease_ttl is not None:
@@ -363,7 +369,24 @@ class ServeApp:
             "ttl": lease.ttl,
             "job": job.to_dict(),
             "seed_rows": seed_rows,
+            # freshest compatible cost-model checkpoint (None on a cold
+            # store): the runner starts verify-stage-accurate at round 0
+            "checkpoint": self._checkpoint_for(job, key),
+            # whether completion checkpoints are wanted at all — a
+            # --no-checkpoints server would drop them, so runners skip
+            # the full-model serialize + upload
+            "accepts_checkpoints": self.checkpoints,
         }
+
+    def _checkpoint_for(self, job, key: StoreKey | None) -> dict | None:
+        """The checkpoint envelope a lease for ``job`` should carry."""
+        if not self.checkpoints or key is None:
+            return None
+        try:
+            kind = api.model_kind(job.method)
+        except ReproError:
+            return None
+        return self.service.models.load_wire(key, kind)
 
     def _lease_or_410(self, lease_id: str, runner_id: str, drop: bool = False):
         """Heartbeat/complete/fail preamble: validate the caller's hold."""
@@ -397,12 +420,28 @@ class ServeApp:
         if not isinstance(records, list):
             raise HttpError(400, "'records' must be a list of record rows")
         result = body.get("result")
-        # Measured rows are evidence regardless of lease fate: ingest
-        # them first, so even a runner whose lease expired mid-upload
-        # still contributes to the store (the requeued attempt
-        # warm-starts from them).
-        job_id_hint = body.get("job_id")
-        ingested = self._ingest_rows(job_id_hint, records)
+        # Measured rows — and the model trained on them — are evidence
+        # regardless of lease fate: ingest them first, so even a runner
+        # whose lease expired mid-upload still contributes to the store
+        # (the requeued attempt warm-starts from them).  The lease's
+        # binding — live or recently retired — decides which job the
+        # upload belongs to, and the caller must be the runner that
+        # held it: the body's job_id can never redirect a *checkpoint*
+        # to a job this lease did not hold.  When the binding is gone
+        # (server restart, retirement aged out) record rows still land
+        # under the claimed job — rows for the wrong key never
+        # re-lower at load, so a misdirected row is inert — but the
+        # checkpoint is dropped: it would load cleanly under any key
+        # of the same model kind and poison future warm starts.
+        ingested, checkpoint_stored = 0, False
+        bound = self.leases.binding(match.group("lease_id"))
+        if bound is not None and bound[1] == runner_id:
+            ingested = self._ingest_rows(bound[0], records)
+            checkpoint_stored = self._ingest_checkpoint(
+                bound[0], body.get("checkpoint")
+            )
+        elif bound is None:
+            ingested = self._ingest_rows(body.get("job_id"), records)
         lease = self._lease_or_410(match.group("lease_id"), runner_id, drop=True)
         if isinstance(result, dict):
             self._save_result(lease.job_id, result)
@@ -413,6 +452,7 @@ class ServeApp:
             "job_id": lease.job_id,
             "state": job.state.value,
             "records_ingested": ingested,
+            "checkpoint_stored": checkpoint_stored,
         }
 
     def handle_fail(self, match, query, body):
@@ -436,3 +476,40 @@ class ServeApp:
         if key is None:
             return 0
         return self.service.store.append_rows(key, records)
+
+    def _ingest_checkpoint(self, job_id: str | None, wire) -> bool:
+        """Store a runner's returned checkpoint under the job's key.
+
+        The ModelStore arbitrates staleness: a checkpoint trained on
+        fewer trials than the stored one is dropped, so a slow runner
+        finishing late cannot clobber a fresher model.  The claimed
+        trial count is clamped to the evidence that actually exists for
+        the key (persisted rows, or the currently stored checkpoint's
+        rank) — an inflated count from a buggy or hostile runner must
+        not freeze the slot against every future checkpoint.
+        """
+        if not self.checkpoints or not isinstance(wire, dict):
+            return False
+        if not isinstance(job_id, str):
+            return False
+        try:
+            job = self.queue.get(job_id)
+        except KeyError:
+            return False
+        key = self._store_key_for(job)
+        if key is None:
+            return False
+        try:
+            kind = api.model_kind(job.method)
+        except ReproError:
+            return False
+        cap = max(
+            # fresh rows land before this; raw line count is a cheap
+            # upper bound — no need to re-parse the store per completion
+            self.service.store.approx_rows(key),
+            self.service.models.trained_trials(key, kind),
+        )
+        claimed = wire_trained_trials(wire)
+        if claimed > cap:
+            wire = dict(wire, trained_trials=cap)
+        return self.service.models.save_wire(key, kind, wire)

@@ -58,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seconds before a silent runner's job requeues (default 30)",
     )
     server.add_argument("--verbose", action="store_true", help="log every request")
+    server.add_argument(
+        "--no-checkpoints",
+        action="store_true",
+        help="do not ship or store cost-model checkpoints on the lease wire",
+    )
 
     runner = sub.add_parser("runner", help="run a measurement runner")
     runner.add_argument(
@@ -95,7 +100,10 @@ def _cmd_server(args: argparse.Namespace, out) -> int:
     from repro.serve.http import make_server
 
     app = ServeApp(
-        args.cache_dir, lease_ttl=args.lease_ttl, verbose=args.verbose
+        args.cache_dir,
+        lease_ttl=args.lease_ttl,
+        verbose=args.verbose,
+        checkpoints=not args.no_checkpoints,
     )
     server = make_server(app, args.host, args.port)
     host, port = server.server_address[:2]

@@ -228,16 +228,20 @@ class ServeClient:
         job_id: str,
         result: dict,
         records: list[dict],
+        checkpoint: dict | None = None,
     ) -> dict:
+        """Deliver a finished job: result summary, fresh record rows and
+        (optionally) the trained cost-model checkpoint envelope."""
+        body = {
+            "runner_id": runner_id,
+            "job_id": job_id,
+            "result": result,
+            "records": records,
+        }
+        if checkpoint is not None:
+            body["checkpoint"] = checkpoint
         _, payload = self._request(
-            "POST",
-            f"/lease/{lease_id}/complete",
-            body={
-                "runner_id": runner_id,
-                "job_id": job_id,
-                "result": result,
-                "records": records,
-            },
+            "POST", f"/lease/{lease_id}/complete", body=body
         )
         return payload or {}
 

@@ -8,12 +8,15 @@ full exchange:
 
 1. ``POST /lease`` — the runner asks for work; the server pops the
    queue, grants a lease, and ships the job spec plus warm-start seed
-   rows from the record store.
+   rows from the record store and the freshest compatible cost-model
+   checkpoint from the model store.
 2. ``POST /lease/{id}/heartbeat`` — keep-alive, carrying the latest
    per-round progress *to* the server and the job's cancellation flag
    *back* (cancellation piggybacks on the beat — no extra channel).
 3. ``POST /lease/{id}/complete`` / ``.../fail`` — terminal: fresh
-   record rows and a result summary, or the error.
+   record rows, a result summary, and the runner's trained model
+   checkpoint (stored server-side under staleness arbitration), or
+   the error.
 
 This module owns the lease bookkeeping (:class:`LeaseTable`) and the
 JSON wire forms of results (:func:`result_to_wire` /
@@ -26,9 +29,12 @@ import math
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.errors import CostModelError
 from repro.search.tuner import TuneResult
+from repro.service.models import state_from_wire, state_to_wire
 
 #: Version of the runner wire protocol, echoed by ``GET /healthz`` —
 #: bump when a message shape changes incompatibly.
@@ -70,6 +76,9 @@ class LeaseTable:
     :meth:`~repro.service.jobs.JobQueue.release`.
     """
 
+    #: retired (lease -> job/runner) bindings kept for late uploads.
+    RETIRED_CAP = 256
+
     def __init__(self, ttl: float = DEFAULT_LEASE_TTL, clock=time.monotonic) -> None:
         if ttl <= 0:
             raise ValueError(f"lease ttl must be > 0, got {ttl}")
@@ -77,6 +86,17 @@ class LeaseTable:
         self._clock = clock
         self._lock = threading.Lock()
         self._leases: dict[str, Lease] = {}
+        # Bindings of recently ended leases (released, expired, drained):
+        # a complete/fail landing after expiry must still be attributable
+        # to the job the lease actually held — never to a job id the
+        # caller invents.  Bounded FIFO; misses just drop the upload.
+        self._retired: OrderedDict[str, tuple[str, str]] = OrderedDict()
+
+    def _retire(self, lease: Lease) -> None:
+        """Remember an ended lease's binding (call under the lock)."""
+        self._retired[lease.lease_id] = (lease.job_id, lease.runner_id)
+        while len(self._retired) > self.RETIRED_CAP:
+            self._retired.popitem(last=False)
 
     # ------------------------------------------------------------------
     def grant(self, job_id: str, runner_id: str, ttl: float | None = None) -> Lease:
@@ -95,14 +115,29 @@ class LeaseTable:
             self._leases[lease.lease_id] = lease
         return lease
 
+    def _live(self, lease_id: str) -> Lease:
+        """The lease, if it is still within its deadline (call under lock).
+
+        A lease past its TTL is dead even before the reaper has popped
+        it: heartbeat/release must not resurrect it — the server may
+        already have requeued its job for another runner.  The entry is
+        left in the table so :meth:`expired` still hands it to the
+        requeue path; it is just no longer usable.
+        """
+        lease = self._leases[lease_id]
+        if lease.deadline < self._clock():
+            raise KeyError(lease_id)
+        return lease
+
     def heartbeat(self, lease_id: str, runner_id: str) -> Lease:
         """Extend a lease's deadline; raises if it is gone or not yours.
 
-        ``KeyError`` — unknown/expired lease (the job was requeued);
-        ``PermissionError`` — a different runner holds it.
+        ``KeyError`` — unknown or already-expired lease (the job was,
+        or is about to be, requeued); ``PermissionError`` — a different
+        runner holds it.
         """
         with self._lock:
-            lease = self._leases[lease_id]
+            lease = self._live(lease_id)
             if lease.runner_id != runner_id:
                 raise PermissionError(
                     f"lease {lease_id} belongs to {lease.runner_id!r}"
@@ -113,13 +148,30 @@ class LeaseTable:
     def release(self, lease_id: str, runner_id: str | None = None) -> Lease:
         """Drop a lease (complete/fail path); same errors as heartbeat."""
         with self._lock:
-            lease = self._leases[lease_id]
+            lease = self._live(lease_id)
             if runner_id is not None and lease.runner_id != runner_id:
                 raise PermissionError(
                     f"lease {lease_id} belongs to {lease.runner_id!r}"
                 )
             del self._leases[lease_id]
+            self._retire(lease)
             return lease
+
+    def binding(self, lease_id: str) -> tuple[str, str] | None:
+        """The ``(job_id, runner_id)`` a lease is (or was) bound to.
+
+        The authoritative binding for completion-time ingest: live
+        leases answer directly (expired or not), recently ended ones
+        from the retired map — a runner's body-supplied ``job_id`` must
+        never be able to redirect its records or checkpoint to a job
+        the lease did not hold.  None for ids this table never issued
+        (or retired past the cap): such uploads are unattributable.
+        """
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is not None:
+                return lease.job_id, lease.runner_id
+            return self._retired.get(lease_id)
 
     def expired(self) -> list[Lease]:
         """Pop and return every lease past its deadline (reaper step)."""
@@ -130,6 +182,7 @@ class LeaseTable:
             ]
             for lease in dead:
                 del self._leases[lease.lease_id]
+                self._retire(lease)
             return dead
 
     def drain(self) -> list[Lease]:
@@ -137,6 +190,8 @@ class LeaseTable:
         with self._lock:
             leases = list(self._leases.values())
             self._leases.clear()
+            for lease in leases:
+                self._retire(lease)
             return leases
 
     def active(self) -> int:
@@ -163,6 +218,7 @@ def result_to_wire(result: TuneResult) -> dict:
         "fresh_trials": result.fresh_trials,
         "seeded_trials": result.seeded_trials,
         "stopped_early": result.stopped_early,
+        "warm_model": result.warm_model,
         "rounds_completed": len(result.curve),
         "curve": [
             {
@@ -186,3 +242,29 @@ def fresh_rows(result: TuneResult) -> list[dict]:
         record.to_dict()
         for record in result.records.records[result.seeded_trials :]
     ]
+
+
+def checkpoint_to_wire(state: dict | None, trained_trials: int = 0) -> dict | None:
+    """Checkpoint envelope for a ``CostModel.save_state`` dict (or None).
+
+    The same JSON-safe form the :class:`~repro.service.models.ModelStore`
+    persists: the server ships it on the lease and stores what the
+    runner returns — no shared filesystem needed.
+    """
+    if state is None:
+        return None
+    return state_to_wire(state, trained_trials=trained_trials)
+
+
+def checkpoint_from_wire(data: object) -> dict | None:
+    """Tolerant decode of a lease payload's checkpoint field.
+
+    None for absent, malformed, or incompatible envelopes — a runner
+    treats all of those as a cold start, never an error.
+    """
+    if not isinstance(data, dict):
+        return None
+    try:
+        return state_from_wire(data)
+    except CostModelError:
+        return None

@@ -30,8 +30,14 @@ from repro.cache import clear_caches
 from repro.hardware.device import get_device
 from repro.search.tuner import TuneResult
 from repro.serve.client import ServeClient, ServeError
-from repro.serve.protocol import fresh_rows, result_to_wire
+from repro.serve.protocol import (
+    checkpoint_from_wire,
+    checkpoint_to_wire,
+    fresh_rows,
+    result_to_wire,
+)
 from repro.service.jobs import TuneJob
+from repro.service.models import wire_trained_trials
 from repro.service.store import rows_to_records
 from repro.workloads import network_tasks
 
@@ -118,10 +124,20 @@ class TuningRunner:
         ttl = float(leased.get("ttl") or 30.0)
         job = self._job_from_wire(leased["job"])
         seed_rows = leased.get("seed_rows") or []
+        # malformed/incompatible checkpoints decode to None: cold start
+        ckpt = leased.get("checkpoint")
+        model_state = checkpoint_from_wire(ckpt)
+        model_trained_on = (
+            wire_trained_trials(ckpt) if model_state is not None else 0
+        )
+        # a --no-checkpoints server drops completion checkpoints, so
+        # don't pay the full-model serialize + upload for it
+        ship_checkpoint = bool(leased.get("accepts_checkpoints", True))
         self._say(
             f"leased {job.job_id}: {job.network}@{job.device}"
             f" ({job.method}, {job.rounds} rounds,"
-            f" {len(seed_rows)} seed rows)"
+            f" {len(seed_rows)} seed rows,"
+            f" {'warm' if model_state is not None else 'cold'} model)"
         )
 
         cancelled = threading.Event()
@@ -155,11 +171,14 @@ class TuningRunner:
         keeper = threading.Thread(target=beat_loop, daemon=True)
         keeper.start()
         try:
-            result = self._tune(
+            result, checkpoint = self._tune(
                 job,
                 seed_rows,
+                model_state,
+                model_trained_on,
                 progress=lambda p: beat(p.to_dict()),
                 should_stop=cancelled.is_set,
+                ship_checkpoint=ship_checkpoint,
             )
         except Exception as exc:  # noqa: BLE001 — report, don't die
             beat_stop.set()
@@ -167,7 +186,7 @@ class TuningRunner:
             return self._deliver_failure(lease_id, job, exc)
         beat_stop.set()
         keeper.join(timeout=ttl)
-        return self._deliver_result(lease_id, job, result)
+        return self._deliver_result(lease_id, job, result, checkpoint)
 
     @staticmethod
     def _job_from_wire(data: dict) -> TuneJob:
@@ -175,9 +194,19 @@ class TuningRunner:
         fields = {f.name for f in TuneJob.__dataclass_fields__.values()}
         return TuneJob.from_dict({k: v for k, v in data.items() if k in fields})
 
-    def _tune(self, job: TuneJob, seed_rows: list, progress, should_stop) -> TuneResult:
+    def _tune(
+        self,
+        job: TuneJob,
+        seed_rows: list,
+        model_state: dict | None,
+        model_trained_on: int,
+        progress,
+        should_stop,
+        ship_checkpoint: bool = True,
+    ) -> tuple[TuneResult, dict | None]:
         """The measuring half of ``TuningService._run_job``, minus the
-        store: warm-start comes off the wire, fresh rows go back on it.
+        store: warm-start (seed rows + model checkpoint) comes off the
+        wire, fresh rows and the trained checkpoint go back on it.
         """
         try:
             device = get_device(job.device)
@@ -197,19 +226,33 @@ class TuningRunner:
                 seed=job.seed,
                 initial_records=initial,
                 tasks=tasks,
+                initial_model_state=model_state,
+                initial_model_trained_on=model_trained_on,
             )
-            return tuner.tune(
+            result = tuner.tune(
                 job.rounds,
                 trial_budget=job.rounds * search.measure_per_round,
                 progress=progress,
                 should_stop=should_stop,
             )
+            checkpoint = None
+            if ship_checkpoint:
+                checkpoint = checkpoint_to_wire(
+                    tuner.checkpoint(), trained_trials=tuner.model_trained_on
+                )
+            return result, checkpoint
         finally:
             # one runner process serves many jobs; per-task memo caches
             # must not accumulate across them
             clear_caches()
 
-    def _deliver_result(self, lease_id: str, job: TuneJob, result: TuneResult) -> bool:
+    def _deliver_result(
+        self,
+        lease_id: str,
+        job: TuneJob,
+        result: TuneResult,
+        checkpoint: dict | None = None,
+    ) -> bool:
         try:
             response = self.client.complete(
                 lease_id,
@@ -217,6 +260,7 @@ class TuningRunner:
                 job.job_id,
                 result_to_wire(result),
                 fresh_rows(result),
+                checkpoint=checkpoint,
             )
         except ServeError as exc:
             # 410: lease expired mid-run — records were still ingested

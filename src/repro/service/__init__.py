@@ -4,6 +4,9 @@
   :class:`~repro.search.records.TuningRecord` rows as JSON-lines keyed
   by ``(workload key, device, method)``, with dedup, a versioned schema
   and best-config lookup.
+* :mod:`repro.service.models` — :class:`ModelStore` persists cost-model
+  checkpoints (``save_state``/``load_state`` dicts) beside the records,
+  so warm-started runs restore the trained model too.
 * :mod:`repro.service.jobs` — :class:`TuneJob` + a thread-safe priority
   :class:`JobQueue` with pending/running/done/failed states and retry.
 * :mod:`repro.service.workers` — :class:`WorkerPool` shards queued jobs
@@ -15,6 +18,7 @@
 """
 
 from repro.service.jobs import JobQueue, JobState, TuneJob
+from repro.service.models import ModelStore
 from repro.service.server import TuningService
 from repro.service.store import RecordStore, StoreKey, store_key_for_tasks
 from repro.service.workers import WorkerPool
@@ -24,6 +28,7 @@ __all__ = [
     "JobState",
     "TuneJob",
     "TuningService",
+    "ModelStore",
     "RecordStore",
     "StoreKey",
     "store_key_for_tasks",

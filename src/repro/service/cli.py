@@ -60,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--seed", type=int, default=None)
     tune.add_argument("--workers", type=_positive_int, default=1)
     tune.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    tune.add_argument(
+        "--no-model-cache",
+        action="store_true",
+        help="skip cost-model checkpoint warm starts (records still seed)",
+    )
 
     status = sub.add_parser("status", help="show job ledger and store stats")
     status.add_argument("--cache-dir", default=DEFAULT_CACHE)
@@ -127,7 +132,9 @@ def _graceful_shutdown(service, out):
 def _cmd_tune(args: argparse.Namespace, out) -> int:
     from repro.service.server import TuningService
 
-    service = TuningService(args.cache_dir, workers=args.workers)
+    service = TuningService(
+        args.cache_dir, workers=args.workers, model_cache=not args.no_model_cache
+    )
     for network in args.network:
         job_id = service.submit(
             network,
@@ -178,6 +185,7 @@ def _cmd_tune(args: argparse.Namespace, out) -> int:
 
 def _cmd_status(args: argparse.Namespace, out) -> int:
     from repro.service.jobs import JobQueue
+    from repro.service.models import ModelStore
     from repro.service.server import LEDGER_NAME
     from repro.service.store import RecordStore
 
@@ -196,6 +204,16 @@ def _cmd_status(args: argparse.Namespace, out) -> int:
             f"  {entry['workload']}@{entry['device']} ({entry['method']}):"
             f" {entry['records']} records,"
             f" best {_fmt_latency(entry['best_latency'])}",
+            file=out,
+        )
+    print("model checkpoints:", file=out)
+    checkpoints = ModelStore(args.cache_dir).stats()
+    if not checkpoints:
+        print("  (none)", file=out)
+    for entry in checkpoints:
+        print(
+            f"  {entry['workload']}@{entry['device']} ({entry['method']}):"
+            f" {entry['kind']} trained on {entry['trained_trials']} trials",
             file=out,
         )
     return 0

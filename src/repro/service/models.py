@@ -1,0 +1,465 @@
+"""Persistent cost-model checkpoints (the ModelStore).
+
+The record store keeps the *evidence* a tuning run paid for; this
+module keeps what the run *learned from it* — the cost model.  Without
+it every warm-started run re-trains its model from scratch while the
+seed rows ride along for free, so the verify stage is inaccurate for
+exactly the rounds where accuracy matters most.  TLP/TenSet-style
+pre-trained models cut tuning time precisely because checkpoints
+outlive a single search; the ModelStore brings that to the online
+modes.
+
+Layout — checkpoints share the record store's cache directory::
+
+    <cache_dir>/
+        <workload>__<device>__<method>__<digest>.jsonl   # records
+        models/
+            index.json                                   # LRU + metadata
+            <workload>__<device>__<method>__<digest>__<kind>.json
+
+One JSON file per ``(store key, model kind)``: the wire form of
+:meth:`repro.costmodel.base.CostModel.save_state` (arrays as base64 of
+their raw bytes, so round trips are bit-identical) plus a checkpoint
+schema version and the number of trials the model was trained on.  The
+same wire form ships over the ``repro.serve`` lease payload, so remote
+runners warm-start without a shared filesystem.
+
+Staleness arbitration: a checkpoint only replaces the stored one when
+it was trained on at least as many trials — a stale runner coming back
+late cannot clobber a better-trained model.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache import register_cache
+from repro.costmodel.base import CostModel
+from repro.errors import CostModelError
+from repro.service.store import (
+    StoreKey,
+    _sanitize,
+    atomic_write_lines,
+    entry_counter,
+    file_lock,
+    read_json_index,
+    stamp_most_recent,
+    tolerant_count,
+    write_json_index,
+)
+
+#: Version of the on-disk / on-wire checkpoint envelope — bump when the
+#: envelope changes incompatibly (the model state inside carries its
+#: own ``state_v``, see :data:`repro.costmodel.base.MODEL_STATE_VERSION`).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+# Parsed-checkpoint memo for the serving hot path (every lease ships
+# the freshest checkpoint).  One entry per file path holding (mtime,
+# size, parsed dict), so rewriting a checkpoint replaces its entry
+# instead of leaking the superseded parse — a long-lived server process
+# may never call clear_caches().  Bounded as a second line of defence
+# (FIFO eviction; dicts preserve insertion order) and registered with
+# the process-wide cache registry so between-job clears drop it too.
+# Guarded by its own lock: ThreadingHTTPServer handles concurrent
+# leases, and racing evictions must not raise out of load_wire.
+_WIRE_MEMO: dict[str, tuple[int, int, dict]] = {}
+_WIRE_MEMO_CAP = 64
+_WIRE_MEMO_LOCK = threading.Lock()
+
+
+def _clear_wire_memo() -> None:
+    # the registered clear must honor the same lock the eviction loop
+    # holds, or a between-jobs clear_caches() from one worker could
+    # empty the dict under another worker's next(iter(...))
+    with _WIRE_MEMO_LOCK:
+        _WIRE_MEMO.clear()
+
+
+register_cache("service.models.wire_memo", _clear_wire_memo)
+
+
+# ----------------------------------------------------------------------
+# wire encoding (JSON-safe, bit-exact)
+# ----------------------------------------------------------------------
+def encode_array(arr: np.ndarray) -> dict:
+    """JSON-safe array: dtype + shape + base64 of the raw bytes."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(data: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array` (bit-identical).
+
+    Only numeric dtypes decode: model parameters are always numbers,
+    and a non-numeric array (e.g. unicode) smuggled through an
+    envelope would pass every name/shape check downstream only to
+    raise TypeError mid-tuning — escaping the CostModelError-means-
+    cold-start contract.
+    """
+    dtype = np.dtype(data["dtype"])
+    if dtype.kind not in "fiub":  # float, signed/unsigned int, bool
+        raise CostModelError(f"non-numeric checkpoint array dtype {dtype}")
+    raw = base64.b64decode(data["data"])
+    arr = np.frombuffer(raw, dtype=dtype)
+    arr = arr.reshape([int(d) for d in data["shape"]]).copy()
+    # trained parameters are always finite; NaN/inf only arrive via
+    # corruption and would crash (or silently poison) models later
+    if dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise CostModelError("non-finite values in checkpoint array")
+    return arr
+
+
+def state_to_wire(state: dict, trained_trials: int = 0) -> dict:
+    """Checkpoint envelope for a ``save_state`` dict.
+
+    ``trained_trials`` — how many measured trials the model was fitted
+    on — drives staleness arbitration in :meth:`ModelStore.save_wire`.
+    """
+    return {
+        "ckpt_v": CHECKPOINT_SCHEMA_VERSION,
+        "state_v": int(state["state_v"]),
+        "kind": state["kind"],
+        "feature_kind": state["feature_kind"],
+        "arch": dict(state["arch"]),
+        "trained_trials": int(trained_trials),
+        "params": {
+            name: encode_array(np.asarray(value))
+            for name, value in state["params"].items()
+        },
+    }
+
+
+def state_from_wire(wire: dict) -> dict:
+    """Decode a checkpoint envelope back into a ``load_state`` dict.
+
+    Raises :class:`~repro.errors.CostModelError` for malformed or
+    newer-versioned envelopes — callers treat that as "no checkpoint".
+    """
+    try:
+        if int(wire.get("ckpt_v", -1)) != CHECKPOINT_SCHEMA_VERSION:
+            raise CostModelError(
+                f"unsupported checkpoint version {wire.get('ckpt_v')!r}"
+            )
+        return {
+            "state_v": int(wire["state_v"]),
+            "kind": wire["kind"],
+            "feature_kind": wire["feature_kind"],
+            "arch": dict(wire["arch"]),
+            "params": {
+                name: decode_array(encoded)
+                for name, encoded in wire["params"].items()
+            },
+        }
+    except CostModelError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError, binascii.Error) as exc:
+        raise CostModelError(f"malformed checkpoint: {exc}") from None
+
+
+def wire_trained_trials(wire: dict) -> int:
+    """The envelope's trial count (0 when absent or malformed)."""
+    return tolerant_count(wire.get("trained_trials", 0))
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ModelStore:
+    """Cost-model checkpoints under ``<cache_dir>/models/``.
+
+    Shares the cache directory (and the StoreKey identity) with
+    :class:`~repro.service.store.RecordStore` so records and the model
+    trained on them travel together.  Thread-safe the same way: one
+    process-wide lock per store root plus advisory file locks.
+    """
+
+    DIR_NAME = "models"
+    INDEX_NAME = "index.json"
+
+    _LOCKS: dict[Path, threading.Lock] = {}
+    _LOCKS_GUARD = threading.Lock()
+    # Per-root stamp memo: a monotonically increasing stamp generation
+    # plus, per filename, [generation at last stamp, skips left].  The
+    # hot serving path (one spec leased over and over) skips the index
+    # lock+parse while (a) no other stamp happened in this process
+    # (generation unchanged — so a touch after another spec's stamp
+    # always re-ranks, keeping in-process LRU exact) and (b) the skip
+    # budget lasts — bounding how long a *cross-process* stamp can go
+    # unobserved, so a served checkpoint's rank lags but never freezes.
+    _LAST_STAMPED: dict[Path, dict] = {}
+    STAMP_SKIP_BUDGET = 32
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.root = Path(cache_dir).expanduser() / self.DIR_NAME
+        self._root_key = self.root.resolve()
+        with ModelStore._LOCKS_GUARD:
+            self._lock = ModelStore._LOCKS.setdefault(
+                self._root_key, threading.Lock()
+            )
+
+    # ------------------------------------------------------------------
+    # paths and index
+    # ------------------------------------------------------------------
+    def path_for(self, key: StoreKey, kind: str) -> Path:
+        stem = key.filename[: -len(".jsonl")]
+        return self.root / f"{stem}__{_sanitize(kind)}.json"
+
+    def _index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def _read_index(self) -> dict[str, dict]:
+        return read_json_index(self._index_path())
+
+    def _write_index(self, index: dict[str, dict]) -> None:
+        write_json_index(self._index_path(), index)
+
+    def _register(
+        self, key: StoreKey, kind: str, filename: str, trained_trials: int
+    ) -> None:
+        """Record a checkpoint in the index and stamp it most-recent."""
+        with file_lock(self._index_path()):
+            index = self._read_index()
+            entry = index.get(filename)
+            if not isinstance(entry, dict):  # absent or damaged: replace
+                entry = index[filename] = {}
+            entry.update(
+                workload=key.workload,
+                device=key.device,
+                method=key.method,
+                kind=kind,
+                trained_trials=int(trained_trials),
+            )
+            stamped = stamp_most_recent(index, filename)
+            self._write_index(index)  # metadata changed either way
+            # inside the lock: set after another thread's later stamp
+            # and a stale memo would suppress re-stamping too long
+            self._record_stamp(filename, stamped)
+
+    def _stamp_state(self) -> dict:
+        return ModelStore._LAST_STAMPED.setdefault(
+            self._root_key, {"gen": 0, "files": {}}
+        )
+
+    def _record_stamp(self, filename: str, stamped: bool) -> None:
+        """Refresh the fast-path memo after a stamp attempt (under the
+        index lock).  A real stamp bumps the generation, invalidating
+        every other file's skip window."""
+        state = self._stamp_state()
+        if stamped:
+            state["gen"] += 1
+        state["files"][filename] = [state["gen"], self.STAMP_SKIP_BUDGET]
+
+    def touch(self, key: StoreKey, kind: str) -> None:
+        """Mark a checkpoint just-used (LRU ordering for :meth:`compact`)."""
+        filename = self.path_for(key, kind).name
+        state = self._stamp_state()
+        entry = state["files"].get(filename)
+        if entry is not None and entry[0] == state["gen"] and entry[1] > 0:
+            # still the last stamp this process made, within budget:
+            # the entry holds the unique top counter — skip the I/O
+            entry[1] -= 1
+            return
+        with file_lock(self._index_path()):
+            index = self._read_index()
+            if not isinstance(index.get(filename), dict):
+                # missing (index lost) or damaged entry: repair with
+                # the identity _register writes, not a bare counter —
+                # an on-disk checkpoint must never be orphaned from
+                # stats/compact just because the index was
+                index[filename] = {
+                    "workload": key.workload,
+                    "device": key.device,
+                    "method": key.method,
+                    "kind": kind,
+                }
+            stamped = stamp_most_recent(index, filename)
+            if stamped:
+                self._write_index(index)
+            self._record_stamp(filename, stamped)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def save(self, key: StoreKey, model: CostModel, trained_trials: int) -> bool:
+        """Checkpoint a live model; returns True if it was stored."""
+        try:
+            state = model.save_state()
+        except CostModelError:
+            return False  # nothing serializable (e.g. RandomModel)
+        return self.save_state(key, state, trained_trials=trained_trials)
+
+    def save_state(self, key: StoreKey, state: dict, trained_trials: int) -> bool:
+        """Persist a ``save_state`` dict under ``(key, state kind)``."""
+        return self.save_wire(
+            key, state["kind"], state_to_wire(state, trained_trials=trained_trials)
+        )
+
+    def save_wire(self, key: StoreKey, kind: str, wire: dict) -> bool:
+        """Persist an already-encoded checkpoint envelope (wire ingest).
+
+        Validates the envelope fully (a remote runner's payload is not
+        trusted), requires its kind to match ``kind``, and applies
+        staleness arbitration: an envelope trained on fewer trials than
+        the stored one is dropped.  Returns True when stored.
+        """
+        if not isinstance(wire, dict):
+            return False
+        try:
+            state = state_from_wire(wire)
+        except CostModelError:
+            return False
+        if state.get("kind") != kind:
+            return False
+        incoming = wire_trained_trials(wire)
+        path = self.path_for(key, kind)
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._lock, file_lock(path):
+            existing = self._read_raw(path)
+            if existing is not None and wire_trained_trials(existing) > incoming:
+                return False  # keep the better-trained checkpoint
+            atomic_write_lines(path, [json.dumps(wire)])
+            self._register(key, kind, path.name, incoming)
+        return True
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_raw(path: Path) -> dict | None:
+        try:
+            wire = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return wire if isinstance(wire, dict) else None
+
+    def load_wire(self, key: StoreKey, kind: str) -> dict | None:
+        """The stored checkpoint envelope, or None.  Treat as read-only:
+        the hot serving path memoizes the parsed dict per file version.
+        """
+        path = self.path_for(key, kind)
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        memo_key = str(path)
+        with _WIRE_MEMO_LOCK:
+            cached = _WIRE_MEMO.get(memo_key)
+        if cached is not None and cached[:2] == (stat.st_mtime_ns, stat.st_size):
+            wire = cached[2]
+        else:
+            wire = self._read_raw(path)
+            if wire is None:
+                return None
+            with _WIRE_MEMO_LOCK:
+                while len(_WIRE_MEMO) >= _WIRE_MEMO_CAP and memo_key not in _WIRE_MEMO:
+                    _WIRE_MEMO.pop(next(iter(_WIRE_MEMO)), None)
+                _WIRE_MEMO[memo_key] = (stat.st_mtime_ns, stat.st_size, wire)
+        self.touch(key, kind)  # warm-start reads drive the LRU ordering
+        return wire
+
+    def load_state(self, key: StoreKey, kind: str) -> dict | None:
+        """Decoded ``load_state`` dict of the stored checkpoint, or None."""
+        wire = self.load_wire(key, kind)
+        if wire is None:
+            return None
+        try:
+            return state_from_wire(wire)
+        except CostModelError:
+            return None
+
+    def trained_trials(self, key: StoreKey, kind: str) -> int:
+        """Trials the stored checkpoint was trained on (0 when absent).
+
+        Served from the index — :meth:`_register` persists the count
+        per entry — so callers that only need the staleness rank skip
+        parsing the full parameter payload (and the LRU touch a
+        :meth:`load_wire` would stamp).
+        """
+        filename = self.path_for(key, kind).name
+        if not (self.root / filename).exists():
+            return 0
+        entry = self._read_index().get(filename)
+        if not isinstance(entry, dict):
+            return 0
+        return tolerant_count(entry.get("trained_trials", 0))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> list[dict]:
+        """Per-checkpoint summary (for ``repro.service status``)."""
+        out = []
+        for filename, entry in sorted(self._read_index().items()):
+            if not isinstance(entry, dict) or not (self.root / filename).exists():
+                continue
+            out.append(
+                {
+                    "workload": entry.get("workload", ""),
+                    "device": entry.get("device", ""),
+                    "method": entry.get("method", ""),
+                    "kind": entry.get("kind", ""),
+                    "trained_trials": tolerant_count(entry.get("trained_trials", 0)),
+                    "last_used": entry_counter(entry),
+                }
+            )
+        return out
+
+    def compact(self, max_checkpoints: int) -> int:
+        """LRU eviction: keep at most ``max_checkpoints`` checkpoints.
+
+        Mirrors :meth:`RecordStore.compact`'s policy at file
+        granularity — least-recently-used checkpoints are deleted
+        first.  Each victim is unlinked under its own file lock, after
+        re-checking that its index entry was not refreshed since the
+        snapshot — a concurrent ``save_wire`` (which locks the file,
+        then the index) must never have its just-stored checkpoint
+        deleted, and taking the index lock around the unlink would
+        deadlock against exactly that ordering.  Returns the number of
+        checkpoints evicted.
+        """
+        if max_checkpoints < 0:
+            raise ValueError(f"max_checkpoints must be >= 0, got {max_checkpoints}")
+        with self._lock:
+            with file_lock(self._index_path()):
+                index = self._read_index()
+            known = [
+                (entry_counter(index.get(name)), name)
+                for name in index
+                if (self.root / name).exists()
+            ]
+            if len(known) <= max_checkpoints:
+                return 0
+            known.sort()  # least recent first; ties break on filename
+            evicted: list[str] = []
+            for snapshot_counter, name in known[: len(known) - max_checkpoints]:
+                path = self.root / name
+                with file_lock(path):
+                    # lock-free tolerant read: just the recency re-check
+                    current = read_json_index(self._index_path()).get(name)
+                    if entry_counter(current) != snapshot_counter:
+                        continue  # refreshed since the snapshot: spare it
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    evicted.append(name)
+            if evicted:
+                with file_lock(self._index_path()):
+                    index = self._read_index()
+                    for name in evicted:
+                        # a racing save may have resurrected the file;
+                        # its fresh entry must survive
+                        if not (self.root / name).exists():
+                            index.pop(name, None)
+                    self._write_index(index)
+            return len(evicted)

@@ -24,6 +24,7 @@ from repro.hardware.device import get_device
 from repro.search.records import TuningRecord
 from repro.search.tuner import TuneResult
 from repro.service.jobs import JobQueue, JobState, TuneJob
+from repro.service.models import ModelStore
 from repro.service.store import RecordStore, store_key_for_tasks
 from repro.service.workers import WorkerPool
 from repro.workloads import network_tasks, resolve_network
@@ -39,13 +40,23 @@ class TuningService:
     cache_dir:
         Root of the record store; shared across runs and processes.
         Jobs for the same ``(workload, device, method)`` reuse each
-        other's measured trials.
+        other's measured trials — and, via the
+        :class:`~repro.service.models.ModelStore` under the same root,
+        each other's trained cost models.
     workers:
         Worker-pool width for :meth:`run`.
+    model_cache:
+        Warm-start cost models from persisted checkpoints and persist
+        them back at job completion (on by default).  Records still
+        seed either way.
     """
 
-    def __init__(self, cache_dir: str | Path, workers: int = 1) -> None:
+    def __init__(
+        self, cache_dir: str | Path, workers: int = 1, model_cache: bool = True
+    ) -> None:
         self.store = RecordStore(cache_dir)
+        self.models = ModelStore(cache_dir)
+        self.model_cache = model_cache
         self.queue = JobQueue()
         self.pool = WorkerPool(workers)
         self._results: dict[str, TuneResult] = {}
@@ -149,6 +160,7 @@ class TuningService:
                 cache_dir=self.store.root,
                 progress=on_round,
                 should_stop=should_stop,
+                model_cache=self.model_cache,
             )
         finally:
             # Long-lived service processes must not accumulate per-task

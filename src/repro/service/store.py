@@ -79,6 +79,73 @@ def atomic_write_lines(path: Path, lines: Iterable[str]) -> None:
     tmp.replace(path)
 
 
+def read_json_index(path: Path) -> dict[str, dict]:
+    """A JSON index file as a dict (empty on absence or damage).
+
+    The shared tolerant reader under :class:`RecordStore` and
+    :class:`repro.service.models.ModelStore` indexes.
+    """
+    if not path.exists():
+        return {}
+    try:
+        index = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return index if isinstance(index, dict) else {}
+
+
+def write_json_index(path: Path, index: dict[str, dict]) -> None:
+    """Atomically rewrite a JSON index file."""
+    atomic_write_lines(path, [json.dumps(index, indent=2, sort_keys=True)])
+
+
+def tolerant_count(value) -> int:
+    """A non-negative int out of possibly-damaged JSON (0 otherwise).
+
+    The single damage-tolerance rule for index counters and checkpoint
+    trial counts: shared, hand-editable files must read as "never
+    used", not raise out of the serving hot path.
+    """
+    try:
+        return max(0, int(value))
+    except (TypeError, ValueError):
+        return 0
+
+
+def entry_counter(entry) -> int:
+    """An index entry's ``last_used`` counter, 0 for any damage."""
+    if not isinstance(entry, dict):
+        return 0
+    return tolerant_count(entry.get("last_used", 0))
+
+
+def stamp_most_recent(index: dict[str, dict], filename: str) -> bool:
+    """Give ``index[filename]`` a uniquely-top ``last_used`` counter.
+
+    The shared LRU-stamp rule of :meth:`RecordStore.touch` and
+    :meth:`repro.service.models.ModelStore.touch`.  ``last_used`` is a
+    monotonic counter (not wall time), so ordering survives clock skew
+    across workers.  The stamp is skipped only when the entry already
+    *uniquely* holds the top counter: after a crash-interrupted rewrite
+    several entries can share it, and a shared top means this entry is
+    not reliably the most recent.  Damaged entries count as never used
+    (and are replaced by a fresh dict when stamped).  Returns True when
+    the entry was restamped (the caller must rewrite the index).
+    """
+    entry = index[filename]
+    if not isinstance(entry, dict):
+        entry = index[filename] = {}
+    own = entry_counter(entry)
+    others = max(
+        (entry_counter(e) for name, e in index.items() if name != filename),
+        default=0,
+    )
+    if own > others:
+        return False
+    entry["last_used"] = max(own, others) + 1
+    return True
+
+
 @contextlib.contextmanager
 def file_lock(path: Path):
     """Advisory cross-process lock on a sidecar ``<path>.lock`` file.
@@ -259,18 +326,10 @@ class RecordStore:
         return self.root / self.INDEX_NAME
 
     def _read_index(self) -> dict[str, dict]:
-        path = self._index_path()
-        if not path.exists():
-            return {}
-        try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return {}
+        return read_json_index(self._index_path())
 
     def _write_index(self, index: dict[str, dict]) -> None:
-        atomic_write_lines(
-            self._index_path(), [json.dumps(index, indent=2, sort_keys=True)]
-        )
+        write_json_index(self._index_path(), index)
 
     def _register(self, key: StoreKey) -> None:
         with file_lock(self._index_path()):
@@ -289,28 +348,35 @@ class RecordStore:
         )
 
     def keys(self) -> list[StoreKey]:
-        """All store keys ever written to this root."""
-        return sorted(
-            (self._entry_key(entry) for entry in self._read_index().values()),
-            key=lambda k: k.filename,
-        )
+        """All store keys ever written to this root.
+
+        Damaged index entries (non-dicts, missing identity fields) are
+        skipped, not raised — the index is shared, hand-editable JSON.
+        """
+        out = []
+        for entry in self._read_index().values():
+            if not isinstance(entry, dict):
+                continue
+            try:
+                out.append(self._entry_key(entry))
+            except KeyError:
+                continue
+        return sorted(out, key=lambda k: k.filename)
 
     def touch(self, key: StoreKey) -> None:
         """Mark a key as just-used (drives LRU ordering in :meth:`compact`).
 
-        ``last_used`` is a monotonic counter (not wall time) stored in
-        the index, so ordering survives clock skew across workers.
+        Stamping follows :func:`stamp_most_recent`: the rewrite is
+        skipped only when this entry uniquely holds the top counter.
         """
         with file_lock(self._index_path()):
             index = self._read_index()
-            entry = index.setdefault(key.filename, asdict(key))
-            top = max(
-                (int(e.get("last_used", 0)) for e in index.values()), default=0
-            )
-            if top and int(entry.get("last_used", 0)) == top:
-                return  # already the most recent key: skip the rewrite
-            entry["last_used"] = 1 + top
-            self._write_index(index)
+            if not isinstance(index.get(key.filename), dict):
+                # absent or damaged: repair with the full key identity,
+                # not a bare counter dict (keys() needs the fields)
+                index[key.filename] = asdict(key)
+            if stamp_most_recent(index, key.filename):
+                self._write_index(index)
 
     def last_used(self, key: StoreKey) -> int:
         """The key's last-use counter (0 if never touched)."""
@@ -546,6 +612,17 @@ class RecordStore:
     def count(self, key: StoreKey) -> int:
         """Number of persisted rows for one key."""
         return len(self.load_rows(key))
+
+    def approx_rows(self, key: StoreKey) -> int:
+        """Cheap upper bound on a key's row count: raw non-empty lines,
+        no JSON parsing or migration.  Enough for sanity caps (the
+        serving layer's checkpoint-rank clamp) without re-reading a
+        large store on every completion."""
+        path = self.path_for(key)
+        if not path.exists():
+            return 0
+        with path.open(encoding="utf-8") as fh:
+            return sum(1 for line in fh if line.strip())
 
     # ------------------------------------------------------------------
     # compaction

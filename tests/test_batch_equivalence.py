@@ -417,6 +417,75 @@ class TestSelectTopEpsilon:
             keys[i] for i in np.argsort(-scores)[:4]
         ]
 
+    def test_single_slot_rounds_explore_with_probability_eps(self, a100):
+        """Regression: k == 1 rounds used to be never-exploratory (the
+        >= 1 random-slot guard only fired for k > 1).  The single slot
+        now goes random with probability eps — sometimes, not always."""
+        search = SearchConfig(
+            population=24, ga_steps=2, spec_size=16, measure_per_round=1,
+            eps_greedy=0.3,
+        )
+        task = TuningTask.create(ops.matmul(128, 128, 128), a100)
+        policy = PrunerPolicy(task, RandomModel(), search=search)
+        configs = random_population(task.space, make_rng(24), 64)
+        batch = policy._lower_valid_batch(configs)
+        scores = np.arange(len(batch), dtype=float)
+        keys = batch.keys()
+        greedy_top = keys[int(np.argsort(-scores)[0])]
+        picks = []
+        for seed in range(60):
+            picked = policy._select_top(batch, scores, RecordLog(), make_rng(seed))
+            assert len(picked) == 1
+            picks.append(picked[0].config.key)
+        explored = sum(1 for key in picks if key != greedy_top)
+        # eps = 0.3 over 60 deterministic draws: exploratory sometimes,
+        # greedy most of the time — never all-one-or-the-other
+        assert 0 < explored < len(picks) // 2
+
+    def test_single_slot_high_eps_still_exploits(self, a100):
+        """Regression: for k == 1, eps in [0.5, 1) used to round to a
+        permanent random slot — greedy selection must still happen with
+        probability 1 - eps."""
+        search = SearchConfig(
+            population=24, ga_steps=2, spec_size=16, measure_per_round=1,
+            eps_greedy=0.6,
+        )
+        task = TuningTask.create(ops.matmul(128, 128, 128), a100)
+        policy = PrunerPolicy(task, RandomModel(), search=search)
+        configs = random_population(task.space, make_rng(26), 64)
+        batch = policy._lower_valid_batch(configs)
+        scores = np.arange(len(batch), dtype=float)
+        keys = batch.keys()
+        greedy_top = keys[int(np.argsort(-scores)[0])]
+        greedy_picks = sum(
+            policy._select_top(batch, scores, RecordLog(), make_rng(seed))[0].config.key
+            == greedy_top
+            for seed in range(60)
+        )
+        # ~40% of rounds stay greedy at eps = 0.6: never zero, never all
+        assert 0 < greedy_picks < 60
+
+    def test_single_slot_eps_one_is_always_random(self, a100):
+        """eps = 1.0 rounds to a full random slot even at k == 1, and no
+        greedy pick may leak into the batch."""
+        search = SearchConfig(
+            population=24, ga_steps=2, spec_size=16, measure_per_round=1,
+            eps_greedy=1.0,
+        )
+        task = TuningTask.create(ops.matmul(128, 128, 128), a100)
+        policy = PrunerPolicy(task, RandomModel(), search=search)
+        configs = random_population(task.space, make_rng(25), 64)
+        batch = policy._lower_valid_batch(configs)
+        scores = np.arange(len(batch), dtype=float)
+        keys = batch.keys()
+        greedy_top = keys[int(np.argsort(-scores)[0])]
+        picks = {
+            policy._select_top(batch, scores, RecordLog(), make_rng(seed))[0].config.key
+            for seed in range(20)
+        }
+        assert len(picks) > 1  # actually random across rngs
+        assert picks != {greedy_top}
+
 
 class TestClearCaches:
     def test_registry_clears_everything(self, matmul_space):

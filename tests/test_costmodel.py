@@ -51,6 +51,32 @@ class TestMakeLabels:
         # groups normalize independently: each group's best has label 1
         assert labels[0] == 1.0 and labels[1] == 1.0
 
+    def test_all_invalid_group_emits_no_index_group(self):
+        """A task whose every measurement failed carries no ranking
+        signal: it must not reach lambdarank as an all-zero group."""
+        lats = np.array([np.inf, np.inf, 1.0, 2.0])
+        labels, groups = make_labels(lats, ["dead", "dead", "live", "live"])
+        assert len(groups) == 1  # only the live task groups
+        assert list(groups[0]) == [2, 3]
+        assert labels[0] == 0.0 and labels[1] == 0.0  # labels still zeroed
+
+    def test_all_groups_invalid_yields_no_groups(self):
+        labels, groups = make_labels(np.array([np.inf, np.inf]), ["t", "t"])
+        assert groups == []
+        assert np.all(labels == 0.0)
+
+    def test_fit_survives_all_invalid_task(self, training_data):
+        """Regression: training data containing an all-invalid task must
+        not feed a degenerate group to the LambdaRank loop."""
+        progs, lats, keys = training_data
+        progs = progs[:20] + progs[:4]
+        lats = np.concatenate([lats[:20], [np.inf] * 4])
+        keys = keys[:20] + ["all-dead-task"] * 4
+        model = TenSetMLP()
+        acc = model.fit(progs, lats, keys, train=TrainConfig(epochs=2), rng=make_rng(2))
+        assert np.isfinite(acc)
+        assert np.all(np.isfinite(model.predict(progs[:5])))
+
 
 @pytest.mark.parametrize(
     "factory", [GBDTModel, TenSetMLP, TLPModel, PaCM], ids=lambda f: f.__name__

@@ -153,6 +153,7 @@ class TestEndToEnd:
         first = client.result(first_id)
         assert first["fresh_trials"] > 0
         assert first["seeded_trials"] == 0
+        assert first["warm_model"] is False  # cold store: nothing to restore
         assert first["rounds_completed"] == SPEC["rounds"]
         assert first["best"]
 
@@ -162,13 +163,15 @@ class TestEndToEnd:
             float(first["final_latency"])
         )
 
-        # round 2: the store's rows ride the lease to the next runner
+        # round 2: the store's rows — and the trained cost-model
+        # checkpoint — ride the lease to the next runner
         second_id = client.submit("bert_tiny", **SPEC)
         thread = run_runner_thread(stack.url)
         client.wait(second_id, timeout=120, poll=0.05)
         thread.join(timeout=10)
         second = client.result(second_id)
         assert second["seeded_trials"] > 0
+        assert second["warm_model"] is True  # restored from the shipped checkpoint
         assert second["fresh_trials"] < first["fresh_trials"]
         assert float(second["final_latency"]) <= float(first["final_latency"])
 
@@ -237,6 +240,148 @@ class TestEndToEnd:
         with pytest.raises(ServeError) as excinfo:
             client.heartbeat(leased["lease_id"], "runner-b")
         assert excinfo.value.status == 409
+
+    def test_checkpoint_round_trips_over_the_lease_wire(self, stack):
+        """A completed job's checkpoint envelope is stored server-side
+        and rides the next lease for the same spec — get_params is
+        bit-identical after the full wire round trip."""
+        import numpy as np
+
+        from repro.costmodel import PaCM
+        from repro.serve.protocol import checkpoint_from_wire, checkpoint_to_wire
+
+        client = stack.client
+        job_id = client.submit("bert_tiny", **SPEC)
+        leased = client.lease("runner-a")
+        assert leased["checkpoint"] is None  # cold store
+        trained = PaCM(seed=5)  # stands in for a model trained on-device
+        rows = [  # the trials it was "trained on" (rank is capped by rows)
+            {"task_key": "t", "config_key": f"c{i}", "latency": 1e-3}
+            for i in range(12)
+        ]
+        done = client.complete(
+            leased["lease_id"],
+            "runner-a",
+            job_id,
+            result={"final_latency": 1.0},
+            records=rows,
+            checkpoint=checkpoint_to_wire(trained.save_state(), trained_trials=12),
+        )
+        assert done["checkpoint_stored"] is True
+        assert done["records_ingested"] == 12
+
+        second_id = client.submit("bert_tiny", **SPEC)
+        leased = client.lease("runner-b")
+        assert leased["job"]["job_id"] == second_id
+        state = checkpoint_from_wire(leased["checkpoint"])
+        assert state is not None
+        restored = PaCM(seed=0)
+        restored.load_state(state)
+        expected = trained.get_params()
+        params = restored.get_params()
+        assert set(params) == set(expected)
+        for name in params:
+            assert np.array_equal(params[name], expected[name])
+
+        # staleness arbitration: a less-trained checkpoint is dropped
+        done = client.complete(
+            leased["lease_id"],
+            "runner-b",
+            second_id,
+            result={"final_latency": 1.0},
+            records=[],
+            checkpoint=checkpoint_to_wire(PaCM(seed=9).save_state(), trained_trials=3),
+        )
+        assert done["checkpoint_stored"] is False
+
+    def test_complete_cannot_redirect_upload_to_another_job(self, stack):
+        """The lease's job binding is authoritative: a completion body
+        naming a different job must not plant records or a checkpoint
+        under that job's store key."""
+        from repro.costmodel import PaCM
+        from repro.serve.protocol import checkpoint_to_wire
+
+        client = stack.client
+        mine = client.submit("bert_tiny", **SPEC)
+        other = client.submit("gpt2", **SPEC)
+        leased = client.lease("runner-a")
+        assert leased["job"]["job_id"] == mine
+        done = client.complete(
+            leased["lease_id"],
+            "runner-a",
+            other,  # forged: a job this runner never held
+            result={"final_latency": 1.0},
+            records=[],
+            checkpoint=checkpoint_to_wire(PaCM().save_state(), trained_trials=10**6),
+        )
+        assert done["job_id"] == mine  # the lease won
+        app = stack.app
+        other_key = app._store_key_for(app.queue.get(other))
+        mine_key = app._store_key_for(app.queue.get(mine))
+        assert app.service.models.load_wire(other_key, "pacm") is None
+        assert app.service.models.load_wire(mine_key, "pacm") is not None
+        # the forged trial count was clamped to the evidence on file
+        # (no rows shipped), so it cannot freeze the arbitration slot
+        assert app.service.models.trained_trials(mine_key, "pacm") == 0
+
+    def test_no_checkpoints_server_advertises_it(self, tmp_path):
+        """--no-checkpoints: the lease carries neither a checkpoint nor
+        the willingness to accept one, so runners skip the upload."""
+        stack = Stack(tmp_path / "cache", checkpoints=False)
+        try:
+            client = stack.client
+            client.submit("bert_tiny", **SPEC)
+            leased = client.lease("r1")
+            assert leased["accepts_checkpoints"] is False
+            assert leased["checkpoint"] is None
+        finally:
+            stack.close()
+
+    def test_expired_lease_upload_still_lands_on_the_right_job(self, tmp_path):
+        """A complete landing after the lease was reaped is still
+        attributed through the retired binding; a lease the table never
+        issued falls back to the claimed job for rows (inert if wrong —
+        they would not re-lower) but never for the checkpoint."""
+        from repro.costmodel import PaCM
+        from repro.serve.protocol import checkpoint_to_wire
+
+        clock = FakeClock()
+        stack = Stack(tmp_path / "cache", lease_ttl=30.0, clock=clock)
+        try:
+            client = stack.client
+            job_id = client.submit("bert_tiny", **SPEC)
+            leased = client.lease("slow-runner")
+            clock.advance(31.0)
+            client.healthz()  # reaper pops the lease, requeues the job
+            rows = [{"task_key": "t", "config_key": "c0", "latency": 1e-3}]
+            with pytest.raises(ServeError) as excinfo:
+                client.complete(
+                    leased["lease_id"],
+                    "slow-runner",
+                    "job-9999-forged",  # body lies; the binding wins
+                    result={"final_latency": 1.0},
+                    records=rows,
+                )
+            assert excinfo.value.status == 410  # lease is gone...
+            app = stack.app
+            key = app._store_key_for(app.queue.get(job_id))
+            assert app.service.store.count(key) == 1  # ...rows still landed
+            with pytest.raises(ServeError):
+                client.complete(
+                    "lease-that-never-existed",  # e.g. issued pre-restart
+                    "slow-runner",
+                    job_id,
+                    result={},
+                    records=[{"task_key": "t", "config_key": "c1", "latency": 1e-3}],
+                    checkpoint=checkpoint_to_wire(
+                        PaCM().save_state(), trained_trials=5
+                    ),
+                )
+            assert app.service.store.count(key) == 2  # rows survive restarts
+            # ...but an unattributable checkpoint never lands anywhere
+            assert app.service.models.load_wire(key, "pacm") is None
+        finally:
+            stack.close()
 
 
 class TestLeaseExpiry:
@@ -316,6 +461,40 @@ class TestLeaseTable:
         assert [dead.job_id for dead in table.expired()] == ["job-1"]
         with pytest.raises(KeyError):
             table.heartbeat(lease.lease_id, "runner-1")
+
+    def test_heartbeat_after_expiry_cannot_resurrect(self):
+        """Regression: a runner stalling past its TTL must not revive a
+        lease the server is about to requeue — even when its beat lands
+        before the reaper runs.  The lease stays reapable."""
+        clock = FakeClock()
+        table = LeaseTable(ttl=10.0, clock=clock)
+        lease = table.grant("job-1", "runner-1")
+        clock.advance(11.0)  # past the deadline, reaper has NOT run yet
+        with pytest.raises(KeyError):
+            table.heartbeat(lease.lease_id, "runner-1")
+        # the rejected beat did not extend the deadline or pop the lease:
+        # the reaper still hands the job to the requeue path exactly once
+        assert [dead.job_id for dead in table.expired()] == ["job-1"]
+
+    def test_release_after_expiry_rejected(self):
+        """A complete/fail landing after expiry is equally dead: the job
+        may already be running elsewhere."""
+        clock = FakeClock()
+        table = LeaseTable(ttl=10.0, clock=clock)
+        lease = table.grant("job-1", "runner-1")
+        clock.advance(11.0)
+        with pytest.raises(KeyError):
+            table.release(lease.lease_id, "runner-1")
+        assert table.active() == 1  # still there for the reaper
+        assert [dead.job_id for dead in table.expired()] == ["job-1"]
+
+    def test_release_within_ttl_still_works(self):
+        clock = FakeClock()
+        table = LeaseTable(ttl=10.0, clock=clock)
+        lease = table.grant("job-1", "runner-1")
+        clock.advance(9.0)
+        assert table.release(lease.lease_id, "runner-1").job_id == "job-1"
+        assert table.active() == 0
 
     def test_drain_pops_everything(self):
         table = LeaseTable(ttl=10.0, clock=FakeClock())

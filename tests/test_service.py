@@ -169,6 +169,51 @@ class TestCompaction:
         loaded = fresh.load_records(key, {matmul_task.key: matmul_task.space})
         assert [r.latency for r in loaded] == [1e-3]
 
+    def test_touch_breaks_shared_top_counter(self, matmul_task, rng, tmp_path):
+        """Regression: after a crash-interrupted rewrite several index
+        entries can share the top ``last_used`` counter; touching one of
+        them must stamp it strictly above the others, not early-return."""
+        store = RecordStore(tmp_path)
+        key_a = store_key_for_tasks([matmul_task], "pruner")
+        key_b = store_key_for_tasks([matmul_task], "ansor")
+        store.append(key_a, _records(matmul_task, rng, [1e-3]))
+        store.append(key_b, _records(matmul_task, rng, [1e-3]))
+        # simulate the crash artifact: both entries share the top counter
+        index = store._read_index()
+        for entry in index.values():
+            entry["last_used"] = 5
+        store._write_index(index)
+        store.touch(key_a)
+        assert store.last_used(key_a) == 6  # stamped above the shared top
+        assert store.last_used(key_b) == 5
+        # a second touch of the now-unique top really is a no-op
+        store.touch(key_a)
+        assert store.last_used(key_a) == 6
+
+    def test_touch_repairs_damaged_index_entry(self, matmul_task, rng, tmp_path):
+        """A non-dict index entry must not break keys()/compact: touch
+        replaces it with the full key identity, not a bare counter."""
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.append(key, _records(matmul_task, rng, [1e-3]))
+        index = store._read_index()
+        index[key.filename] = 5  # hand-damaged: not a dict
+        store._write_index(index)
+        assert store.keys() == []  # damaged entry skipped, not raised
+        store.touch(key)
+        assert store.keys() == [key]  # repaired with the full identity
+        assert store.last_used(key) == 1
+
+    def test_touch_repeated_is_stable(self, matmul_task, rng, tmp_path):
+        store = RecordStore(tmp_path)
+        key = store_key_for_tasks([matmul_task], "pruner")
+        store.append(key, _records(matmul_task, rng, [1e-3]))
+        store.touch(key)
+        stamped = store.last_used(key)
+        assert stamped > 0
+        store.touch(key)  # sole entry already uniquely on top
+        assert store.last_used(key) == stamped
+
 
 class TestRecordLogExtend:
     def test_extend_accepts_any_iterable(self, matmul_task, rng):
@@ -438,6 +483,52 @@ class TestWarmStart:
         assert second.final_latency <= first.final_latency
         for key, best in first.best.items():
             assert second.best[key] <= best
+
+    @staticmethod
+    def _fresh_trials_to(result, target):
+        """Trials measured *in this run* before the curve reached target."""
+        for point in result.curve:
+            if point.latency <= target:
+                return point.trials - result.seeded_trials
+        return math.inf
+
+    def test_checkpoint_warm_start_reaches_best_in_fewer_trials(self, tmp_path):
+        """Acceptance: the second service run of the same task loads the
+        stored cost-model checkpoint (no cold retrain from round 0) and
+        reaches the first run's best latency in strictly fewer measured
+        trials."""
+        spec = dict(device="a100", rounds=4, scale="smoke", top_k_tasks=1)
+        first_service = TuningService(tmp_path, workers=1)
+        first_id = first_service.submit("bert_tiny", **spec)
+        first_service.run()
+        first = first_service.result(first_id)
+        assert not first.warm_model  # nothing to restore on a cold store
+        # the trained model was checkpointed at job completion
+        (entry,) = first_service.models.stats()
+        assert entry["kind"] == "pacm"
+        assert entry["trained_trials"] == first.total_trials
+
+        second_service = TuningService(tmp_path, workers=1)
+        second_id = second_service.submit("bert_tiny", **spec)
+        second_service.run()
+        second = second_service.result(second_id)
+        assert second.warm_model  # restored, not retrained from round 0
+        target = first.final_latency
+        assert self._fresh_trials_to(second, target) < self._fresh_trials_to(
+            first, target
+        )
+
+    def test_no_model_cache_flag_skips_checkpoints(self, tmp_path):
+        spec = dict(device="a100", rounds=2, scale="smoke", top_k_tasks=1)
+        service = TuningService(tmp_path, workers=1, model_cache=False)
+        service.submit("bert_tiny", **spec)
+        service.run()
+        assert service.models.stats() == []
+        warm = TuningService(tmp_path, workers=1)  # checkpoints back on
+        warm_id = warm.submit("bert_tiny", **spec)
+        warm.run()
+        assert not warm.result(warm_id).warm_model  # nothing was stored
+        assert warm.models.stats() != []  # ...but this run checkpointed
 
 
 class TestMultiWorker:
