@@ -9,7 +9,16 @@ draft-then-verify pipeline:
   implementation (vendored below, one Python object per candidate);
 * **verify** — learned-model scoring of a drafted set
   (``lower_batch`` + ``predict_batch`` vs per-program feature
-  extraction + prediction).
+  extraction + prediction);
+* **measure** — simulating/noising/clock-charging the measurement
+  batch (``MeasureRunner.measure_batch`` vs the pre-batching scalar
+  loop, vendored below: per-program math-based simulation, one noise
+  draw and clock charge at a time).
+
+It also reports the **lowering memo**: candidates/second through
+``lower_batch_memo`` for a cold round vs a warm round over the same
+drafted set, plus how many rows each actually lowered
+(``lowered_count`` deltas) — the warm round must lower strictly fewer.
 
 Usage::
 
@@ -20,13 +29,15 @@ Usage::
 
 ``--check`` compares against the floor checked into
 ``benchmarks/results/throughput_floor.json`` and exits non-zero when
-the batched draft stage regresses below it (CI smoke job).
+any batched stage regresses below it, or when the warm memo round
+stops beating the cold one (CI smoke job).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -39,15 +50,21 @@ from repro.cache import clear_caches  # noqa: E402
 from repro.config import SearchConfig  # noqa: E402
 from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable  # noqa: E402
 from repro.core.lse import LatentScheduleExplorer  # noqa: E402
+from repro.core.penalty import compute_penalties  # noqa: E402
+from repro.core.symbols import extract_symbols  # noqa: E402
 from repro.costmodel import PaCM  # noqa: E402
 from repro.hardware.device import get_device  # noqa: E402
+from repro.hardware.measure import MeasureRunner  # noqa: E402
+from repro.hardware.simulator import _residual_net, residual_features  # noqa: E402
 from repro.ir.ops import matmul  # noqa: E402
 from repro.rng import make_rng  # noqa: E402
 from repro.schedule.batch import lower_batch  # noqa: E402
-from repro.schedule.lower import lower  # noqa: E402
+from repro.schedule.lower import lower, lowered_count  # noqa: E402
+from repro.schedule.memo import LOWERED_ROWS, lower_batch_memo  # noqa: E402
 from repro.schedule.sampler import random_population  # noqa: E402
 from repro.schedule.space import ScheduleConfig, divisors  # noqa: E402
 from repro.search.task import TuningTask  # noqa: E402
+from repro.timemodel import SimClock  # noqa: E402
 
 FLOOR_PATH = Path(__file__).resolve().parent / "results" / "throughput_floor.json"
 
@@ -214,6 +231,96 @@ def scalar_explore(space, analyzer, cfg: SearchConfig, rng):
 
 
 # ----------------------------------------------------------------------
+# Pre-batching scalar measurement path (vendored from the seed): one
+# math-based simulation, one noise draw and one clock charge per
+# program — the serial tail every tuning round used to pay.
+# ----------------------------------------------------------------------
+def _scalar_simulate(device, prog):
+    d = device
+    if prog.threads_per_block > d.max_threads_per_block:
+        return math.inf, False
+    if prog.smem_bytes > d.smem_per_block:
+        return math.inf, False
+    if prog.grid < 1 or prog.threads_per_block < 1:
+        return math.inf, False
+
+    threads = prog.threads_per_block
+    reg_cap = max(
+        1, min(d.max_regs_per_thread, d.regs_per_sm // max(1, threads))
+    )
+    warps = math.ceil(threads / d.warp_size)
+    regs_per_thread = min(prog.reg_elems, reg_cap)
+    limits = [
+        d.max_blocks_per_sm,
+        d.max_threads_per_sm // threads,
+        d.regs_per_sm // max(1, regs_per_thread * threads),
+    ]
+    if prog.smem_bytes > 0:
+        limits.append(d.smem_per_sm // max(1, prog.smem_bytes))
+    blocks_per_sm = max(0, min(limits))
+    if blocks_per_sm < 1:
+        return math.inf, False
+    occupancy = min(1.0, blocks_per_sm * warps / d.max_warps_per_sm)
+
+    pen = compute_penalties(extract_symbols(prog), d, prog.workload.dtype_bytes)
+
+    occ_factor = occupancy / (occupancy + 0.15) * 1.15
+    inner_tile = prog.acc_regs / max(1, prog.vthreads)
+    ilp = min(1.0, 0.60 + 0.10 * math.log2(1.0 + min(inner_tile, 128.0)))
+    if prog.unroll >= 64:
+        unroll_bonus = 1.0
+    elif prog.unroll >= 16:
+        unroll_bonus = 0.97
+    else:
+        unroll_bonus = 0.92
+    spill = 1.0
+    if prog.reg_elems > reg_cap:
+        spill = (reg_cap / prog.reg_elems) ** 1.5
+    extra_c = occ_factor * ilp * unroll_bonus * spill
+    compute_time = prog.flops / (
+        d.peak_for(prog.tensorcore) * max(pen.compute_product() * extra_c, 1e-6)
+    )
+
+    saturation = min(1.0, (occupancy + 0.15) / 0.60)
+    vec_bonus = min(1.15, 1.0 + 0.05 * math.log2(max(1, prog.vector)))
+    memory_time = prog.traffic_bytes / (
+        d.peak_bw * max(pen.memory_product() * saturation * vec_bonus, 1e-6)
+    )
+
+    core = max(compute_time, memory_time) + 0.3 * min(compute_time, memory_time)
+    w1, b1, w2 = _residual_net(d.name)
+    hidden = np.tanh(w1 @ residual_features(prog) + b1)
+    core *= math.exp(d.residual_scale * math.tanh(float(w2 @ hidden)))
+
+    overhead = d.launch_overhead
+    if prog.splitk > 1:
+        reduce_bytes = (
+            prog.workload.output_elems * prog.splitk * prog.workload.dtype_bytes
+        )
+        overhead += d.launch_overhead + reduce_bytes / (d.peak_bw * 0.6)
+    return core + overhead, True
+
+
+def scalar_measure(device, progs, clock, rng, noise_sigma=0.015):
+    """The seed's MeasureRunner.measure: one program at a time."""
+    charged = []
+    results = []
+    for prog in progs:
+        latency, valid = _scalar_simulate(device, prog)
+        if valid:
+            latency *= math.exp(rng.normal(0.0, noise_sigma))
+            charged.append(latency)
+        results.append((latency, valid))
+    clock.charge_measurement(charged)
+    if len(progs) > len(charged):
+        clock.charge(
+            "measurement",
+            (len(progs) - len(charged)) * clock.costs.measure_overhead,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
 def _time(fn, repeats):
     best = float("inf")
     for _ in range(repeats):
@@ -278,6 +385,40 @@ def run(quick: bool) -> dict:
     verify_batched = _time(batched_verify, repeats)
     verify_scalar = _time(scalar_verify, repeats)
 
+    # --- measure stage ---
+    n_measure = cfg.spec_size if quick else cfg.spec_size * 4
+    measure_configs = random_population(task.space, make_rng(4), n_measure)
+    measure_batch = lower_batch(task.space, measure_configs)
+    measure_progs = [lower(task.space, c) for c in measure_configs]
+
+    def batched_measure():
+        runner = MeasureRunner(task.device, clock=SimClock(), rng=make_rng(5))
+        runner.measure_batch(measure_batch)
+        return len(measure_batch)
+
+    def scalar_measure_loop():
+        scalar_measure(task.device, measure_progs, SimClock(), make_rng(5))
+        return len(measure_progs)
+
+    batched_measure()  # warm
+    measure_batched = _time(batched_measure, repeats)
+    measure_scalar = _time(scalar_measure_loop, repeats)
+
+    # --- lowering memo: cold round vs warm round over the same draft ---
+    memo_configs = random_population(task.space, make_rng(6), cfg.spec_size)
+    clear_caches()
+    before = lowered_count()
+    t0 = time.perf_counter()
+    lower_batch_memo(task.space, memo_configs)
+    cold_s = time.perf_counter() - t0
+    cold_lowered = lowered_count() - before
+    before = lowered_count()
+    t0 = time.perf_counter()
+    lower_batch_memo(task.space, memo_configs)
+    warm_s = time.perf_counter() - t0
+    warm_lowered = lowered_count() - before
+    memo_stats = LOWERED_ROWS.stats()
+
     return {
         "quick": quick,
         "draft": {
@@ -289,6 +430,19 @@ def run(quick: bool) -> dict:
             "batched_cps": round(verify_batched),
             "scalar_cps": round(verify_scalar),
             "speedup": round(verify_batched / verify_scalar, 2),
+        },
+        "measure": {
+            "batched_cps": round(measure_batched),
+            "scalar_cps": round(measure_scalar),
+            "speedup": round(measure_batched / measure_scalar, 2),
+        },
+        "memo": {
+            "cold_cps": round(len(memo_configs) / cold_s),
+            "warm_cps": round(len(memo_configs) / warm_s),
+            "cold_lowered": cold_lowered,
+            "warm_lowered": warm_lowered,
+            "hits": memo_stats["hits"],
+            "misses": memo_stats["misses"],
         },
     }
 
@@ -315,8 +469,10 @@ def main(argv: list[str] | None = None) -> int:
         floor = {
             "draft_speedup_min": round(results["draft"]["speedup"] / 2, 2),
             "verify_speedup_min": round(results["verify"]["speedup"] / 2, 2),
+            "measure_speedup_min": round(results["measure"]["speedup"] / 2, 2),
             "measured_draft_cps": results["draft"]["batched_cps"],
             "measured_verify_cps": results["verify"]["batched_cps"],
+            "measured_measure_cps": results["measure"]["batched_cps"],
         }
         FLOOR_PATH.parent.mkdir(parents=True, exist_ok=True)
         FLOOR_PATH.write_text(json.dumps(floor, indent=2) + "\n")
@@ -334,6 +490,18 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"verify speedup {results['verify']['speedup']}x < "
                 f"floor {floor['verify_speedup_min']}x"
+            )
+        if results["measure"]["speedup"] < floor.get("measure_speedup_min", 1.0):
+            failures.append(
+                f"measure speedup {results['measure']['speedup']}x < "
+                f"floor {floor['measure_speedup_min']}x"
+            )
+        # The warm memo round must do strictly less lowering work than
+        # the cold one (a row-count invariant, immune to timer noise).
+        if results["memo"]["warm_lowered"] >= results["memo"]["cold_lowered"]:
+            failures.append(
+                f"warm memo round lowered {results['memo']['warm_lowered']} rows, "
+                f"cold lowered {results['memo']['cold_lowered']} — memo ineffective"
             )
         if failures:
             print("THROUGHPUT REGRESSION:\n  " + "\n  ".join(failures))

@@ -60,6 +60,47 @@ def registered_caches() -> list[str]:
         return sorted(_REGISTRY)
 
 
+# ----------------------------------------------------------------------
+# capacity bounding — for caches that persist *across* jobs on purpose
+# ----------------------------------------------------------------------
+_CAPACITY_HOOKS: dict[str, Callable[[int], None]] = {}
+
+
+def register_bounded(
+    name: str,
+    clear: Callable[[], None],
+    set_capacity: Callable[[int], None],
+) -> None:
+    """Register a cache that is both clearable and capacity-bounded.
+
+    Persistent cross-round stores (the lowering memo, the feature-row
+    cache) intentionally survive :func:`clear_caches`-free stretches of
+    a job; the service layers use :func:`bound_cache` to cap their
+    memory between jobs instead of always dropping them.
+    """
+    register_cache(name, clear)
+    with _GUARD:
+        _CAPACITY_HOOKS[name] = set_capacity
+
+
+def bound_cache(name: str, capacity: int) -> bool:
+    """Set the row capacity of a bounded cache; False if it has none."""
+    if capacity < 0:
+        raise ValueError("cache capacity must be >= 0")
+    with _GUARD:
+        hook = _CAPACITY_HOOKS.get(name)
+    if hook is None:
+        return False
+    hook(capacity)
+    return True
+
+
+def bounded_caches() -> list[str]:
+    """Names of every capacity-bounded cache (sorted)."""
+    with _GUARD:
+        return sorted(_CAPACITY_HOOKS)
+
+
 def clear_caches() -> int:
     """Clear every registered cache; returns the number of caches cleared.
 

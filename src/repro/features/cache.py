@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.cache import register_cache
+from repro.cache import register_bounded
 from repro.schedule.space import ScheduleSpace
 
 #: Maximum cached rows across all spaces and feature kinds.
@@ -46,6 +46,12 @@ class FeatureRowCache:
         with self._lock:
             self._spaces.clear()
             self._count = 0
+
+    def set_capacity(self, capacity: int) -> None:
+        """Re-bound the cache, evicting immediately if now over."""
+        with self._lock:
+            self.capacity = capacity
+            self._evict()
 
     def fetch(
         self,
@@ -98,4 +104,6 @@ class FeatureRowCache:
 
 #: The process-wide instance every batch feature encoder shares.
 FEATURE_ROWS = FeatureRowCache()
-register_cache("features.cache.FEATURE_ROWS", FEATURE_ROWS.clear)
+register_bounded(
+    "features.cache.FEATURE_ROWS", FEATURE_ROWS.clear, FEATURE_ROWS.set_capacity
+)

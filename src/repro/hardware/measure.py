@@ -7,6 +7,15 @@ Wraps the ground-truth simulator with
   overhead plus ``latency * repeats`` seconds on the
   :class:`~repro.timemodel.SimClock` — the "Measurement" row of the
   paper's Table 1.
+
+The hot path is :meth:`MeasureRunner.measure_batch`, which takes the
+already-packed :class:`~repro.schedule.batch.CandidateBatch` the search
+policies produce and simulates/noises/charges it as arrays — one noise
+draw call, one clock charge.  The scalar :meth:`MeasureRunner.measure`
+is a thin wrapper that packs its program list into a batch; both paths
+consume the RNG identically (``Generator.normal(size=k)`` yields the
+same stream as ``k`` sequential scalar draws), so they are
+bit-equivalent under a fixed seed.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import numpy as np
 from repro.hardware.device import DeviceSpec
 from repro.hardware.simulator import GroundTruthSimulator
 from repro.rng import make_rng
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 from repro.timemodel import SimClock
 
@@ -39,6 +49,43 @@ class MeasureResult:
         return self.prog.flops / self.latency
 
 
+@dataclass
+class MeasureResultBatch:
+    """One round of measured trials, structure-of-arrays.
+
+    ``latency`` includes measurement noise (inf for invalid programs);
+    ``batch`` is the measured candidates themselves, so consumers can
+    materialize :class:`~repro.schedule.lower.LoweredProgram` objects
+    for exactly the rows they keep.
+    """
+
+    batch: CandidateBatch
+    latency: np.ndarray  # (N,) seconds
+    valid: np.ndarray  # (N,) bool
+
+    def __len__(self) -> int:
+        return len(self.latency)
+
+    def throughput(self) -> np.ndarray:
+        """FLOP/s achieved per trial (0 for invalid programs)."""
+        out = np.zeros(len(self), dtype=np.float64)
+        ok = self.valid & np.isfinite(self.latency)
+        out[ok] = self.batch.flops[ok] / self.latency[ok]
+        return out
+
+    def result(self, i: int) -> MeasureResult:
+        """Scalar :class:`MeasureResult` view of trial ``i``."""
+        return MeasureResult(
+            prog=self.batch.program(i),
+            latency=float(self.latency[i]),
+            valid=bool(self.valid[i]),
+        )
+
+    def to_results(self) -> list[MeasureResult]:
+        """Materialize every trial as a scalar :class:`MeasureResult`."""
+        return [self.result(i) for i in range(len(self))]
+
+
 class MeasureRunner:
     """Measures programs on a simulated device, charging simulated time."""
 
@@ -56,29 +103,31 @@ class MeasureRunner:
         self.rng = rng if rng is not None else make_rng(0)
         self.count = 0  # total trials measured
 
-    def measure(self, progs: list[LoweredProgram]) -> list[MeasureResult]:
-        """Measure a batch of programs (one 'round' of trials)."""
-        results: list[MeasureResult] = []
-        charged: list[float] = []
-        for prog in progs:
-            sim = self.simulator.run(prog)
-            if sim.valid:
-                noise = math.exp(self.rng.normal(0.0, self.noise_sigma))
-                latency = sim.latency * noise
-                charged.append(latency)
-            else:
-                latency = math.inf
-            results.append(MeasureResult(prog, latency, sim.valid))
+    def measure_batch(self, batch: CandidateBatch) -> MeasureResultBatch:
+        """Measure a packed candidate batch (one 'round' of trials)."""
+        n = len(batch)
+        sim = self.simulator.run_batch(batch)
+        latency = sim.latency.copy()  # already inf for invalid rows
+        valid_idx = np.flatnonzero(sim.valid)
+        if len(valid_idx):
+            noise = np.exp(self.rng.normal(0.0, self.noise_sigma, size=len(valid_idx)))
+            latency[valid_idx] = latency[valid_idx] * noise
         # Invalid programs still cost compile overhead (the harness
         # discovers the failure); valid ones cost run time on top.
-        self.clock.charge_measurement(charged)
-        if len(progs) > len(charged):
+        self.clock.charge_measurement(latency[valid_idx].tolist())
+        if n > len(valid_idx):
             self.clock.charge(
                 "measurement",
-                (len(progs) - len(charged)) * self.clock.costs.measure_overhead,
+                (n - len(valid_idx)) * self.clock.costs.measure_overhead,
             )
-        self.count += len(progs)
-        return results
+        self.count += n
+        return MeasureResultBatch(batch=batch, latency=latency, valid=sim.valid)
+
+    def measure(self, progs: list[LoweredProgram]) -> list[MeasureResult]:
+        """Measure a list of programs (wrapper over :meth:`measure_batch`)."""
+        if not progs:
+            return []
+        return self.measure_batch(CandidateBatch.from_programs(progs)).to_results()
 
     def true_latency(self, prog: LoweredProgram) -> float:
         """Noise-free ground truth (used by dataset generation / metrics)."""

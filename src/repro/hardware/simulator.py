@@ -32,6 +32,16 @@ across devices, creating the cross-platform gap MoA addresses.
 
 Measurement noise is *not* applied here (the simulator is the "true"
 device); :mod:`repro.hardware.measure` adds it.
+
+The implementation is array-native: :meth:`GroundTruthSimulator.run_batch`
+evaluates a whole :class:`~repro.schedule.batch.CandidateBatch` in a
+handful of numpy ops (one einsum for the residual net), and the scalar
+:meth:`~GroundTruthSimulator.run` is a thin wrapper over a one-row
+batch.  The residual net deliberately uses ``einsum`` rather than
+``@``: BLAS gemm picks different accumulation orders for different
+batch shapes, while einsum keeps every row's dot products
+shape-independent — which is what makes ``run_batch`` bit-identical to
+``run`` regardless of batch size.
 """
 
 from __future__ import annotations
@@ -42,14 +52,24 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.core.penalty import compute_penalties
-from repro.core.symbols import extract_symbols
+from repro.cache import register_lru
+from repro.core.penalty import compute_penalties_batch
+from repro.core.symbols import extract_symbols_batch
 from repro.hardware.device import DeviceSpec
 from repro.rng import rng_for
+from repro.schedule.batch import CandidateBatch
 from repro.schedule.lower import LoweredProgram
 
 _RESIDUAL_FEATURES = 14
 _RESIDUAL_HIDDEN = 10
+
+#: Invalidity reason codes of :class:`SimulationResultBatch` (0 = valid);
+#: precedence mirrors the scalar check order: threads > smem > empty > occ.
+REASON_OK = 0
+REASON_THREADS = 1
+REASON_SMEM = 2
+REASON_EMPTY = 3
+REASON_OCCUPANCY = 4
 
 
 @dataclass(frozen=True)
@@ -64,6 +84,60 @@ class SimulationResult:
     reason: str = ""
 
 
+@dataclass
+class SimulationResultBatch:
+    """Outcomes of a whole candidate batch, one array per field.
+
+    ``reason_code`` holds the ``REASON_*`` codes; the human-readable
+    strings of the scalar path are materialized lazily by
+    :meth:`reason` / :meth:`row` (only invalid candidates that someone
+    actually inspects pay for string formatting).
+    """
+
+    device: DeviceSpec
+    latency: np.ndarray  # (N,) seconds, inf when invalid
+    valid: np.ndarray  # (N,) bool
+    compute_time: np.ndarray  # (N,) 0.0 when invalid
+    memory_time: np.ndarray  # (N,) 0.0 when invalid
+    occupancy: np.ndarray  # (N,) 0.0 when invalid
+    reason_code: np.ndarray  # (N,) REASON_* codes
+    threads: np.ndarray  # (N,) for reason formatting
+    smem_bytes: np.ndarray  # (N,) for reason formatting
+
+    def __len__(self) -> int:
+        return len(self.latency)
+
+    def reason(self, i: int) -> str:
+        """Scalar-identical invalidity reason of candidate ``i``."""
+        code = int(self.reason_code[i])
+        if code == REASON_OK:
+            return ""
+        if code == REASON_THREADS:
+            return (
+                f"threads per block {int(self.threads[i])} exceeds "
+                f"{self.device.max_threads_per_block}"
+            )
+        if code == REASON_SMEM:
+            return (
+                f"shared memory {int(self.smem_bytes[i])}B exceeds "
+                f"{self.device.smem_per_block}B"
+            )
+        if code == REASON_EMPTY:
+            return "empty launch configuration"
+        return "zero occupancy"
+
+    def row(self, i: int) -> SimulationResult:
+        """Scalar :class:`SimulationResult` view of candidate ``i``."""
+        return SimulationResult(
+            latency=float(self.latency[i]),
+            valid=bool(self.valid[i]),
+            compute_time=float(self.compute_time[i]),
+            memory_time=float(self.memory_time[i]),
+            occupancy=float(self.occupancy[i]),
+            reason=self.reason(i),
+        )
+
+
 @lru_cache(maxsize=32)
 def _residual_net(device_name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fixed random 2-layer net defining the device residual."""
@@ -74,36 +148,44 @@ def _residual_net(device_name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]
     return w1, b1, w2
 
 
-def residual_features(prog: LoweredProgram) -> np.ndarray:
-    """Structural feature vector feeding the device residual.
+register_lru("hardware.simulator._residual_net", _residual_net)
+
+
+def residual_features_batch(batch: CandidateBatch) -> np.ndarray:
+    """Structural feature matrix ``(N, 14)`` feeding the device residual.
 
     Log-scaled quantities mirroring what the dataflow features expose;
     learned cost models can therefore *learn* the residual while the
     closed-form draft model cannot.
     """
 
-    def lg(x: float) -> float:
-        return math.log2(1.0 + max(0.0, x)) / 16.0
+    def lg(x: np.ndarray) -> np.ndarray:
+        return np.log2(1.0 + np.maximum(0.0, x)) / 16.0
 
-    wl = prog.workload
-    return np.array(
+    return np.stack(
         [
-            lg(prog.acc_regs),
-            lg(prog.reg_elems),
-            lg(prog.smem_elems),
-            lg(prog.threads_per_block),
-            lg(prog.vthreads),
-            lg(prog.grid),
-            lg(prog.trans_span),
-            lg(prog.thread_compute),
-            lg(prog.traffic_elems / max(1.0, prog.flops) * 1e3),
-            lg(prog.unroll),
-            lg(prog.vector),
-            lg(prog.splitk),
-            lg(wl.arithmetic_intensity()),
-            1.0 if prog.tensorcore else 0.0,
-        ]
+            lg(batch.acc_regs),
+            lg(batch.reg_elems),
+            lg(batch.smem_elems),
+            lg(batch.threads),
+            lg(batch.vthreads),
+            lg(batch.grid),
+            lg(batch.trans_span),
+            lg(batch.thread_compute),
+            lg(batch.traffic_elems / np.maximum(1.0, batch.flops) * 1e3),
+            lg(batch.unroll),
+            lg(batch.vector),
+            lg(batch.splitk),
+            lg(batch.arith_intensity),
+            batch.tensorcore.astype(np.float64),
+        ],
+        axis=1,
     )
+
+
+def residual_features(prog: LoweredProgram) -> np.ndarray:
+    """Structural feature vector of one program (one-row batch view)."""
+    return residual_features_batch(CandidateBatch.from_programs([prog]))[0]
 
 
 class GroundTruthSimulator:
@@ -115,124 +197,128 @@ class GroundTruthSimulator:
     # ------------------------------------------------------------------
     def run(self, prog: LoweredProgram) -> SimulationResult:
         """Simulate one program; deterministic for a given (device, program)."""
-        invalid = self._check_validity(prog)
-        if invalid:
-            return SimulationResult(math.inf, valid=False, reason=invalid)
+        return self.run_batch(CandidateBatch.from_programs([prog])).row(0)
 
-        occupancy, blocks_per_sm = self._occupancy(prog)
-        if blocks_per_sm < 1:
-            return SimulationResult(math.inf, valid=False, reason="zero occupancy")
+    def run_batch(self, batch: CandidateBatch) -> SimulationResultBatch:
+        """Simulate a whole batch in a few numpy ops.
 
-        symbols = extract_symbols(prog)
-        pen = compute_penalties(symbols, self.device, prog.workload.dtype_bytes)
+        Bit-identical, per candidate, to the scalar :meth:`run` (the
+        measurement-equivalence suite asserts this): every arithmetic
+        step keeps the scalar path's operation order, invalid rows are
+        masked out after the fact rather than branched around, and the
+        residual net runs as a shape-independent einsum.
+        """
+        d = self.device
+        n = len(batch)
+        threads = batch.threads
+        smem_bytes = batch.smem_elems * batch.dtype_bytes
 
-        compute_time = self._compute_time(prog, pen, occupancy)
-        memory_time = self._memory_time(prog, pen, occupancy)
-        core = max(compute_time, memory_time) + 0.3 * min(compute_time, memory_time)
-        core *= self._residual_factor(prog)
+        # -- validity (assignment order = reversed scalar precedence) --
+        reason = np.zeros(n, dtype=np.int64)
+        reason[(batch.grid < 1) | (threads < 1)] = REASON_EMPTY
+        reason[smem_bytes > d.smem_per_block] = REASON_SMEM
+        reason[threads > d.max_threads_per_block] = REASON_THREADS
 
-        latency = core + self._overheads(prog)
-        return SimulationResult(
-            latency=latency,
-            valid=True,
-            compute_time=compute_time,
-            memory_time=memory_time,
-            occupancy=occupancy,
+        # -- occupancy (divisors clamped so invalid rows stay finite) --
+        thr = np.maximum(1, threads)
+        warps = -(-thr // d.warp_size)
+        per_thread_budget = d.regs_per_sm // thr
+        reg_cap = np.maximum(1, np.minimum(d.max_regs_per_thread, per_thread_budget))
+        regs_per_thread = np.minimum(batch.reg_elems, reg_cap)
+        limits = np.minimum(d.max_blocks_per_sm, d.max_threads_per_sm // thr)
+        limits = np.minimum(
+            limits, d.regs_per_sm // np.maximum(1, regs_per_thread * thr)
+        )
+        limits = np.minimum(
+            limits,
+            np.where(
+                smem_bytes > 0,
+                d.smem_per_sm // np.maximum(1, smem_bytes),
+                np.iinfo(np.int64).max,
+            ),
+        )
+        blocks_per_sm = np.maximum(0, limits)
+        occupancy = np.minimum(1.0, (blocks_per_sm * warps) / d.max_warps_per_sm)
+        reason[(reason == REASON_OK) & (blocks_per_sm < 1)] = REASON_OCCUPANCY
+        valid = reason == REASON_OK
+
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            symbols = extract_symbols_batch(batch)
+            pen = compute_penalties_batch(symbols, d, batch.dtype_bytes)
+
+            # -- compute term --
+            peak = np.full(n, float(d.peak_flops))
+            if batch.tensorcore.any():
+                # peak_for(True) raises on non-TC devices; only consult
+                # it when the batch actually contains TC candidates.
+                peak[batch.tensorcore] = d.peak_for(True)
+            skeleton_c = pen.compute_product()
+            occ_factor = occupancy / (occupancy + 0.15) * 1.15
+            inner_tile = batch.acc_regs / np.maximum(1, batch.vthreads)
+            ilp = np.minimum(
+                1.0, 0.60 + 0.10 * np.log2(1.0 + np.minimum(inner_tile, 128.0))
+            )
+            unroll_bonus = np.where(
+                batch.unroll >= 64, 1.0, np.where(batch.unroll >= 16, 0.97, 0.92)
+            )
+            spill = np.where(
+                batch.reg_elems > reg_cap,
+                (reg_cap / np.maximum(1, batch.reg_elems)) ** 1.5,
+                1.0,
+            )
+            extra_c = occ_factor * ilp * unroll_bonus * spill
+            compute_time = batch.flops / (peak * np.maximum(skeleton_c * extra_c, 1e-6))
+
+            # -- memory term --
+            skeleton_m = pen.memory_product()
+            saturation = np.minimum(1.0, (occupancy + 0.15) / 0.60)
+            vec_bonus = np.minimum(
+                1.15, 1.0 + 0.05 * np.log2(np.maximum(1, batch.vector))
+            )
+            extra_m = saturation * vec_bonus
+            traffic_bytes = batch.traffic_elems * batch.dtype_bytes
+            memory_time = traffic_bytes / (
+                d.peak_bw * np.maximum(skeleton_m * extra_m, 1e-6)
+            )
+
+            # -- composition + residual + overheads --
+            core = np.maximum(compute_time, memory_time) + 0.3 * np.minimum(
+                compute_time, memory_time
+            )
+            core = core * self._residual_factor_batch(batch)
+            overhead = np.full(n, float(d.launch_overhead))
+            reduce_bytes = batch.output_elems * batch.splitk * batch.dtype_bytes
+            overhead = np.where(
+                batch.splitk > 1,
+                overhead + (d.launch_overhead + reduce_bytes / (d.peak_bw * 0.6)),
+                overhead,
+            )
+            latency = core + overhead
+
+        return SimulationResultBatch(
+            device=d,
+            latency=np.where(valid, latency, math.inf),
+            valid=valid,
+            compute_time=np.where(valid, compute_time, 0.0),
+            memory_time=np.where(valid, memory_time, 0.0),
+            occupancy=np.where(valid, occupancy, 0.0),
+            reason_code=reason,
+            threads=threads,
+            smem_bytes=smem_bytes,
         )
 
     def latency(self, prog: LoweredProgram) -> float:
         """Shorthand: latency in seconds (inf when invalid)."""
         return self.run(prog).latency
 
+    def latency_batch(self, batch: CandidateBatch) -> np.ndarray:
+        """Latencies of a whole batch in seconds (inf when invalid)."""
+        return self.run_batch(batch).latency
+
     # ------------------------------------------------------------------
-    def _check_validity(self, prog: LoweredProgram) -> str:
-        d = self.device
-        if prog.threads_per_block > d.max_threads_per_block:
-            return (
-                f"threads per block {prog.threads_per_block} exceeds "
-                f"{d.max_threads_per_block}"
-            )
-        if prog.smem_bytes > d.smem_per_block:
-            return f"shared memory {prog.smem_bytes}B exceeds {d.smem_per_block}B"
-        if prog.grid < 1 or prog.threads_per_block < 1:
-            return "empty launch configuration"
-        return ""
-
-    def _reg_cap(self, prog: LoweredProgram) -> int:
-        """Registers per thread after the compiler caps usage to launch.
-
-        CUDA compilers spill registers rather than fail when a block
-        would exceed the SM register file; programs above the cap run,
-        slower (see the spill factor in :meth:`_compute_time`).
-        """
-        d = self.device
-        per_thread_budget = d.regs_per_sm // max(1, prog.threads_per_block)
-        return max(1, min(d.max_regs_per_thread, per_thread_budget))
-
-    def _occupancy(self, prog: LoweredProgram) -> tuple[float, int]:
-        d = self.device
-        threads = prog.threads_per_block
-        warps = math.ceil(threads / d.warp_size)
-        regs_per_thread = min(prog.reg_elems, self._reg_cap(prog))
-        limits = [
-            d.max_blocks_per_sm,
-            d.max_threads_per_sm // threads,
-            d.regs_per_sm // max(1, regs_per_thread * threads),
-        ]
-        if prog.smem_bytes > 0:
-            limits.append(d.smem_per_sm // max(1, prog.smem_bytes))
-        blocks_per_sm = max(0, min(limits))
-        active_warps = blocks_per_sm * warps
-        occupancy = min(1.0, active_warps / d.max_warps_per_sm)
-        return occupancy, blocks_per_sm
-
-    def _compute_time(self, prog, pen, occupancy: float) -> float:
-        """Compute term: penalty skeleton x micro-architectural extras."""
-        d = self.device
-        peak = d.peak_for(prog.tensorcore)
-        skeleton = pen.compute_product()  # density * P_l1_c * alpha * P_l2_c * S9
-
-        # Extras the draft model does not know about:
-        occ_factor = occupancy / (occupancy + 0.15) * 1.15  # warp-latency hiding
-        inner_tile = prog.acc_regs / max(1, prog.vthreads)
-        ilp = min(1.0, 0.60 + 0.10 * math.log2(1.0 + min(inner_tile, 128.0)))
-        if prog.unroll >= 64:
-            unroll_bonus = 1.0
-        elif prog.unroll >= 16:
-            unroll_bonus = 0.97
-        else:
-            unroll_bonus = 0.92
-        reg_cap = self._reg_cap(prog)
-        spill = 1.0
-        if prog.reg_elems > reg_cap:
-            spill = (reg_cap / prog.reg_elems) ** 1.5
-
-        extra = occ_factor * ilp * unroll_bonus * spill
-        return prog.flops / (peak * max(skeleton * extra, 1e-6))
-
-    def _memory_time(self, prog, pen, occupancy: float) -> float:
-        """Memory term: penalty skeleton x saturation/vectorization extras."""
-        d = self.device
-        skeleton = pen.memory_product()  # P_l0_m * P_l1_m * P_l2_m
-        saturation = min(1.0, (occupancy + 0.15) / 0.60)
-        vec_bonus = min(1.15, 1.0 + 0.05 * math.log2(max(1, prog.vector)))
-        extra = saturation * vec_bonus
-        return prog.traffic_bytes / (d.peak_bw * max(skeleton * extra, 1e-6))
-
-    def _overheads(self, prog: LoweredProgram) -> float:
-        d = self.device
-        overhead = d.launch_overhead
-        if prog.splitk > 1:
-            # partial-sum reduction kernel: one more launch + traffic
-            reduce_bytes = (
-                prog.workload.output_elems * prog.splitk * prog.workload.dtype_bytes
-            )
-            overhead += d.launch_overhead + reduce_bytes / (d.peak_bw * 0.6)
-        return overhead
-
-    def _residual_factor(self, prog: LoweredProgram) -> float:
+    def _residual_factor_batch(self, batch: CandidateBatch) -> np.ndarray:
         w1, b1, w2 = _residual_net(self.device.name)
-        phi = residual_features(prog)
-        hidden = np.tanh(w1 @ phi + b1)
-        r = math.tanh(float(w2 @ hidden))
-        return math.exp(self.device.residual_scale * r)
+        phi = residual_features_batch(batch)
+        hidden = np.tanh(np.einsum("nf,hf->nh", phi, w1) + b1)
+        r = np.tanh(np.einsum("nh,h->n", hidden, w2))
+        return np.exp(self.device.residual_scale * r)

@@ -20,14 +20,17 @@ constrains thread tiles to WMMA 16x16x16 fragments.
 * :mod:`repro.schedule.batch`  — the structure-of-arrays pipeline:
   :class:`ConfigBatch`, :func:`lower_batch` and :class:`CandidateBatch`
   (packed per-candidate arrays the whole search hot path runs on).
+* :mod:`repro.schedule.memo`   — :class:`LoweredRowCache`, the
+  persistent cross-round lowering memo (:func:`lower_batch_memo`).
 """
 
 from repro.schedule.space import ScheduleConfig, ScheduleSpace, count_factorizations
 from repro.schedule.sketch import generate_sketch
 from repro.schedule.sampler import random_config, random_population, sample_factorization
 from repro.schedule.mutate import crossover, mutate
-from repro.schedule.lower import DataflowBlock, LoweredProgram, lower
+from repro.schedule.lower import DataflowBlock, LoweredProgram, lower, lowered_count
 from repro.schedule.batch import CandidateBatch, ConfigBatch, lower_batch
+from repro.schedule.memo import LOWERED_ROWS, LoweredRowCache, lower_batch_memo
 
 __all__ = [
     "ScheduleConfig",
@@ -41,7 +44,11 @@ __all__ = [
     "crossover",
     "lower",
     "lower_batch",
+    "lower_batch_memo",
+    "lowered_count",
     "LoweredProgram",
+    "LoweredRowCache",
+    "LOWERED_ROWS",
     "DataflowBlock",
     "ConfigBatch",
     "CandidateBatch",

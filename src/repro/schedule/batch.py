@@ -30,6 +30,8 @@ and the materializer for the few candidates that actually get measured.
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -38,7 +40,15 @@ import numpy as np
 from repro.cache import register_lru
 from repro.errors import ScheduleError
 from repro.ir.ops import Workload
-from repro.schedule.lower import FRAGMENT, L0, L1, L2, LoweredProgram, lower
+from repro.schedule.lower import (
+    FRAGMENT,
+    L0,
+    L1,
+    L2,
+    LoweredProgram,
+    lower,
+    note_lowered,
+)
 from repro.schedule.space import WMMA, WMMA_LANE, ScheduleConfig, ScheduleSpace
 
 #: Widest per-axis factor tuple (5-way spatial splits); narrower axes are
@@ -264,6 +274,18 @@ class ConfigBatch:
             self.splitk[idx],
         )
         out._configs = [self._configs[int(i)] for i in idx]
+        return out
+
+    def slice(self, start: int, stop: int) -> "ConfigBatch":
+        """Contiguous view ``[start:stop)`` — no array copies (sharding)."""
+        out = ConfigBatch(
+            self.space,
+            self.factors[start:stop],
+            self.unroll[start:stop],
+            self.vector[start:stop],
+            self.splitk[start:stop],
+        )
+        out._configs = self._configs[start:stop]
         return out
 
     def row_ids(self) -> np.ndarray:
@@ -526,6 +548,85 @@ class CandidateBatch:
 
     # ------------------------------------------------------------------
     @classmethod
+    def concat(cls, parts: list["CandidateBatch"]) -> "CandidateBatch":
+        """Stack candidate batches, preserving order (shards, memo arenas).
+
+        All parts must share an origin: either every part carries a
+        :class:`ConfigBatch` (``lower_batch`` output, same space) or
+        every part carries a program list (``from_programs`` output).
+        Block arrays are padded to the widest part with the same fill
+        values :meth:`from_programs` uses (``kind = -1``, zeros), so
+        concatenation commutes with packing.
+        """
+        if not parts:
+            raise ScheduleError("cannot concatenate zero candidate batches")
+        if len(parts) == 1:
+            return parts[0]
+        if all(p.configs is not None for p in parts):
+            configs = ConfigBatch.concat([p.configs for p in parts])
+            programs = None
+        elif all(p.programs is not None for p in parts):
+            configs = None
+            programs = [q for p in parts for q in p.programs]
+        else:
+            raise ScheduleError("cannot concatenate mixed-origin candidate batches")
+        width = max(p.blocks.kind.shape[1] for p in parts)
+
+        def cat_blocks(field: str, fill) -> np.ndarray:
+            arrs = []
+            for p in parts:
+                a = getattr(p.blocks, field)
+                if a.shape[1] < width:
+                    pad = np.full(
+                        (a.shape[0], width - a.shape[1]), fill, dtype=a.dtype
+                    )
+                    a = np.concatenate([a, pad], axis=1)
+                arrs.append(a)
+            return np.concatenate(arrs, axis=0)
+
+        def cat(field: str) -> np.ndarray:
+            return np.concatenate([getattr(p, field) for p in parts])
+
+        return cls(
+            configs=configs,
+            programs=programs,
+            tensorcore=cat("tensorcore"),
+            n_blocks=cat("n_blocks"),
+            threads=cat("threads"),
+            vthreads=cat("vthreads"),
+            acc_regs=cat("acc_regs"),
+            reg_elems=cat("reg_elems"),
+            thread_compute=cat("thread_compute"),
+            smem_elems=cat("smem_elems"),
+            traffic_elems=cat("traffic_elems"),
+            grid=cat("grid"),
+            trans_span=cat("trans_span"),
+            flops=cat("flops"),
+            tc_align=cat("tc_align"),
+            unroll=cat("unroll"),
+            vector=cat("vector"),
+            splitk=cat("splitk"),
+            dtype_bytes=cat("dtype_bytes"),
+            output_elems=cat("output_elems"),
+            arith_intensity=cat("arith_intensity"),
+            n_fused=cat("n_fused"),
+            n_reduction=cat("n_reduction"),
+            tag_code=cat("tag_code"),
+            blocks=BlockArrays(
+                kind=cat_blocks("kind", -1),
+                src=cat_blocks("src", 0),
+                dst=cat_blocks("dst", 0),
+                traffic=cat_blocks("traffic", 0.0),
+                alloc=cat_blocks("alloc", 0.0),
+                reuse=cat_blocks("reuse", 0.0),
+                span=cat_blocks("span", 0),
+                compute=cat_blocks("compute", 0.0),
+                vector=cat_blocks("vector", 0),
+                dtype_bytes=cat_blocks("dtype_bytes", 0),
+            ),
+        )
+
+    @classmethod
     def from_programs(cls, progs: list[LoweredProgram]) -> "CandidateBatch":
         """Pack scalar programs (mixed workloads allowed) into arrays."""
         n = len(progs)
@@ -605,6 +706,13 @@ def _tc_align_scalar(prog: LoweredProgram) -> float:
 # ----------------------------------------------------------------------
 # vectorized lowering
 # ----------------------------------------------------------------------
+#: Populations at or above this size are sharded across a thread pool;
+#: every lowering op is per-row, so shard boundaries cannot change
+#: values and shard-order concatenation keeps the result deterministic.
+SHARD_MIN_ROWS = 16384
+_SHARD_ROWS = 8192
+
+
 def lower_batch(
     space: ScheduleSpace, configs: ConfigBatch | list[ScheduleConfig]
 ) -> CandidateBatch:
@@ -614,19 +722,34 @@ def lower_batch(
     :func:`repro.schedule.lower.lower` per config (the equivalence suite
     asserts this); raises :class:`~repro.errors.ScheduleError` when a
     candidate lies outside the space, like the scalar path.
+
+    Populations of at least :data:`SHARD_MIN_ROWS` rows are lowered in
+    :data:`_SHARD_ROWS`-row shards on a thread pool (numpy releases the
+    GIL inside array ops) and concatenated in shard order — same arrays,
+    better wall-clock on many-core hosts.
     """
     if not isinstance(configs, ConfigBatch):
         configs = ConfigBatch.from_configs(space, configs)
     validate_batch(space, configs)
-    if space.workload.is_tiled:
-        return _lower_tiled_batch(space, configs)
-    return _lower_flat_batch(space, configs)
+    impl = _lower_tiled_batch if space.workload.is_tiled else _lower_flat_batch
+    n = len(configs)
+    if n >= SHARD_MIN_ROWS:
+        shards = [
+            configs.slice(s, min(s + _SHARD_ROWS, n))
+            for s in range(0, n, _SHARD_ROWS)
+        ]
+        workers = max(2, min(len(shards), (os.cpu_count() or 2) - 1))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(lambda shard: impl(space, shard), shards))
+        return CandidateBatch.concat(parts)
+    return impl(space, configs)
 
 
 def _lower_tiled_batch(space: ScheduleSpace, cb: ConfigBatch) -> CandidateBatch:
     plan = space_plan(space)
     wl = plan.workload
     n = len(cb)
+    note_lowered(n)
     n_s = plan.n_spatial
     fs = cb.factors[:, :n_s, :]
     fr = cb.factors[:, n_s:, :]
@@ -787,6 +910,7 @@ def _lower_flat_batch(space: ScheduleSpace, cb: ConfigBatch) -> CandidateBatch:
     plan = space_plan(space)
     wl = plan.workload
     n = len(cb)
+    note_lowered(n)
     n_s = plan.n_spatial
     fs = cb.factors[:, :n_s, :]
 

@@ -18,6 +18,7 @@ per k0 iteration per block.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -25,6 +26,25 @@ from repro.cache import register_lru
 from repro.errors import LoweringError
 from repro.ir.ops import Workload
 from repro.schedule.space import ScheduleConfig, ScheduleSpace
+
+# Monotonic count of programs actually lowered (scalar cache misses plus
+# batch-lowered rows — repro.schedule.batch reports its row counts here).
+# Lets benchmarks and CI smoke checks assert that a warm lowering memo
+# round performs strictly fewer lower calls than a cold one.
+_lowered_lock = threading.Lock()
+_lowered_total = 0
+
+
+def note_lowered(n: int) -> None:
+    """Record that ``n`` programs were lowered (memo-effectiveness stats)."""
+    global _lowered_total
+    with _lowered_lock:
+        _lowered_total += n
+
+
+def lowered_count() -> int:
+    """Programs lowered so far in this process (never resets)."""
+    return _lowered_total
 
 # Memory levels (paper Table 2): L0 = registers, L1 = shared, L2 = global.
 L0, L1, L2 = 0, 1, 2
@@ -111,6 +131,7 @@ def lower(space: ScheduleSpace, config: ScheduleConfig) -> LoweredProgram:
 @lru_cache(maxsize=65536)
 def _lower_cached(space: ScheduleSpace, config: ScheduleConfig) -> LoweredProgram:
     space.validate(config)
+    note_lowered(1)
     if space.workload.is_tiled:
         return _lower_tiled(space, config)
     return _lower_flat(space, config)

@@ -15,15 +15,16 @@ materialized for the few candidates that reach the measurement batch.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 
 import numpy as np
 
 from repro.config import SearchConfig
 from repro.core.analyzer import is_launchable_mask
 from repro.costmodel.base import CostModel
-from repro.schedule.batch import CandidateBatch, ConfigBatch, lower_batch
+from repro.schedule.batch import CandidateBatch, ConfigBatch
 from repro.schedule.lower import LoweredProgram
+from repro.schedule.memo import lower_batch_memo
 from repro.schedule.mutate import crossover_pairs, mutate_batch
 from repro.schedule.sampler import random_batch
 from repro.schedule.space import ScheduleConfig
@@ -33,7 +34,13 @@ from repro.timemodel import SimClock
 
 
 class SearchPolicy(ABC):
-    """Proposes programs to measure for one task, one round at a time."""
+    """Proposes candidates to measure for one task, one round at a time.
+
+    Subclasses override :meth:`propose_batch` (the array-native primary
+    entry point the tuner drives) or, for scalar policies,
+    :meth:`propose`; each default implementation adapts to the other,
+    so overriding either one is enough.
+    """
 
     def __init__(
         self,
@@ -47,11 +54,27 @@ class SearchPolicy(ABC):
         self.search = search or SearchConfig()
         self.clock = clock if clock is not None else SimClock()
 
-    @abstractmethod
+    def propose_batch(
+        self, records: RecordLog, rng: np.random.Generator
+    ) -> CandidateBatch | None:
+        """Measurement batch for this round (<= search.measure_per_round).
+
+        None means "nothing to measure" — distinct from an empty batch
+        only in that no arrays are materialized for it.
+        """
+        progs = self.propose(records, rng)
+        if not progs:
+            return None
+        return CandidateBatch.from_programs(progs)
+
     def propose(
         self, records: RecordLog, rng: np.random.Generator
     ) -> list[LoweredProgram]:
-        """Programs to measure this round (<= search.measure_per_round)."""
+        """Scalar view of :meth:`propose_batch` (compat entry point)."""
+        batch = self.propose_batch(records, rng)
+        if batch is None:
+            return []
+        return [batch.program(i) for i in range(len(batch))]
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -59,18 +82,24 @@ class SearchPolicy(ABC):
     def _lower_valid_batch(
         self, configs: ConfigBatch | list[ScheduleConfig]
     ) -> CandidateBatch:
-        """Lower a batch and keep only launchable candidates."""
-        lowered = lower_batch(self.task.space, configs)
+        """Lower a batch (via the cross-round memo), keep launchable rows.
+
+        This is the verify-path lowering entry: recurring drafted
+        candidates (GA elites, warm-start seeds) hit the
+        :data:`~repro.schedule.memo.LOWERED_ROWS` arena and skip
+        re-lowering entirely.
+        """
+        lowered = lower_batch_memo(self.task.space, configs)
         return lowered.take(is_launchable_mask(lowered, self.task.device))
 
-    def _select_top(
+    def _select_indices(
         self,
-        batch: CandidateBatch | ConfigBatch,
+        keys: list[str],
         scores: np.ndarray,
         records: RecordLog,
         rng: np.random.Generator,
-    ) -> list[LoweredProgram]:
-        """Pick the measurement batch: greedy top + epsilon random.
+    ) -> list[int]:
+        """Pick measurement-batch indices: greedy top + epsilon random.
 
         With ``eps_greedy > 0`` exploration never silently shuts off:
         small measurement rounds used to round the epsilon share down
@@ -89,7 +118,6 @@ class SearchPolicy(ABC):
             n_random = max(0, int(round(k * eps)))
             if eps > 0 and n_random == 0:
                 n_random = 1
-        keys = batch.keys()
         order = np.argsort(-np.asarray(scores))
         picked: list[int] = []
         seen: set[str] = set()
@@ -113,7 +141,31 @@ class SearchPolicy(ABC):
             if pool:
                 extra = rng.choice(len(pool), size=min(n_random, len(pool)), replace=False)
                 picked += [pool[int(i)] for i in extra]
-        return [batch.program(i) for i in picked[:k]]
+        return picked[:k]
+
+    def _select_top_batch(
+        self,
+        batch: CandidateBatch,
+        scores: np.ndarray,
+        records: RecordLog,
+        rng: np.random.Generator,
+    ) -> CandidateBatch | None:
+        """Array-native selection: the picked rows as a sub-batch."""
+        picked = self._select_indices(batch.keys(), scores, records, rng)
+        if not picked:
+            return None
+        return batch.take(np.array(picked, dtype=np.int64))
+
+    def _select_top(
+        self,
+        batch: CandidateBatch | ConfigBatch,
+        scores: np.ndarray,
+        records: RecordLog,
+        rng: np.random.Generator,
+    ) -> list[LoweredProgram]:
+        """Scalar selection view (kept for callers that want programs)."""
+        picked = self._select_indices(batch.keys(), scores, records, rng)
+        return [batch.program(i) for i in picked]
 
     def _seeded_population(
         self, records: RecordLog, rng: np.random.Generator
@@ -142,9 +194,9 @@ class AnsorPolicy(SearchPolicy):
     inferences per tuning round.
     """
 
-    def propose(
+    def propose_batch(
         self, records: RecordLog, rng: np.random.Generator
-    ) -> list[LoweredProgram]:
+    ) -> CandidateBatch | None:
         space = self.task.space
         population = self._seeded_population(records, rng)
 
@@ -152,7 +204,7 @@ class AnsorPolicy(SearchPolicy):
             # Cold start: no trained model; measure random candidates.
             batch = self._lower_valid_batch(population)
             scores = rng.random(len(batch))
-            return self._select_top(batch, scores, records, rng)
+            return self._select_top_batch(batch, scores, records, rng)
 
         pool_batches: list[ConfigBatch] = []
         pool_scores: list[np.ndarray] = []
@@ -172,7 +224,7 @@ class AnsorPolicy(SearchPolicy):
             population = self._evolve(batch.configs, scores, rng)
 
         if not pool_batches:
-            return []
+            return None
         pooled = ConfigBatch.concat(pool_batches)
         scores = np.concatenate(pool_scores)
         # Deduplicate (model scores are deterministic, so first == any)
@@ -182,9 +234,16 @@ class AnsorPolicy(SearchPolicy):
         pooled, scores = pooled.take(first), scores[first]
         order = np.argsort(-scores, kind="stable")
         # Every pooled candidate already passed the launchability mask;
-        # selection only needs keys + per-pick materialization, so the
-        # ConfigBatch is enough — no second lowering pass over the pool.
-        return self._select_top(pooled.take(order), scores[order], records, rng)
+        # selection only needs keys, so the ConfigBatch is enough.  The
+        # picked rows re-lower through the memo — pure arena hits, since
+        # each was lowered in a GA generation above.
+        ranked = pooled.take(order)
+        picked = self._select_indices(ranked.keys(), scores[order], records, rng)
+        if not picked:
+            return None
+        return lower_batch_memo(
+            space, ranked.take(np.array(picked, dtype=np.int64))
+        )
 
     def _evolve(
         self,

@@ -27,8 +27,7 @@ from repro.config import SearchConfig
 from repro.core.analyzer import SymbolBasedAnalyzer
 from repro.core.lse import LatentScheduleExplorer
 from repro.costmodel.base import CostModel
-from repro.schedule.batch import ConfigBatch
-from repro.schedule.lower import LoweredProgram
+from repro.schedule.batch import CandidateBatch, ConfigBatch
 from repro.schedule.sampler import random_batch
 from repro.search.policy import SearchPolicy
 from repro.search.records import RecordLog
@@ -51,9 +50,9 @@ class PrunerPolicy(SearchPolicy):
         self.analyzer = analyzer or SymbolBasedAnalyzer(task.device)
         self.explorer = LatentScheduleExplorer(self.analyzer, self.search)
 
-    def propose(
+    def propose_batch(
         self, records: RecordLog, rng: np.random.Generator
-    ) -> list[LoweredProgram]:
+    ) -> CandidateBatch | None:
         space = self.task.space
 
         # ----- Draft: LSE under the Symbol-based Analyzer -----
@@ -68,10 +67,10 @@ class PrunerPolicy(SearchPolicy):
         if n_random:
             parts.append(random_batch(space, rng, n_random))
         if not parts:
-            return []
+            return None
         draft = self._lower_valid_batch(ConfigBatch.concat(parts))
         if not len(draft):
-            return []
+            return None
 
         # ----- Verify: learned model over the drafted set only -----
         if len(records) == 0:
@@ -85,4 +84,4 @@ class PrunerPolicy(SearchPolicy):
                 self.model.feature_kind, self.model.kind, len(draft)
             )
             scores = self.model.predict_batch(draft)
-        return self._select_top(draft, scores, records, rng)
+        return self._select_top_batch(draft, scores, records, rng)

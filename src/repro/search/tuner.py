@@ -273,18 +273,21 @@ class Tuner:
         """
         task = self.scheduler.select(self.records)
         policy = self.policies[task.key]
-        progs = policy.propose(self.records, self.rng)
-        if max_trials is not None:
-            progs = progs[:max_trials]
-        if progs:
-            results = self.runner.measure(progs)
-            for res in results:
+        batch = policy.propose_batch(self.records, self.rng)
+        if batch is not None and max_trials is not None and len(batch) > max_trials:
+            batch = batch.take(np.arange(max_trials))
+        if batch is not None and len(batch):
+            # The packed batch flows straight into the measurement path —
+            # no unpacking to a program list on the hot loop.
+            res = self.runner.measure_batch(batch)
+            sim_time = self.clock.total
+            for i in range(len(batch)):
                 self.records.add(
                     TuningRecord(
                         task_key=task.key,
-                        prog=res.prog,
-                        latency=res.latency,
-                        sim_time=self.clock.total,
+                        prog=batch.program(i),
+                        latency=float(res.latency[i]),
+                        sim_time=sim_time,
                         round_index=self._round,
                     )
                 )

@@ -26,7 +26,7 @@ import sys
 import threading
 
 from repro import api
-from repro.cache import clear_caches
+from repro.cache import bound_cache, clear_caches
 from repro.hardware.device import get_device
 from repro.search.tuner import TuneResult
 from repro.serve.client import ServeClient, ServeError
@@ -61,6 +61,11 @@ class TuningRunner:
         Seconds to sleep between empty lease polls.
     lease_ttl:
         Requested lease duration; None takes the server's default.
+    memo_rows:
+        Row budget for the persistent lowering memo
+        (``schedule.memo.LOWERED_ROWS``) while a job runs; None keeps
+        its default capacity.  Caches are still dropped wholesale
+        between leased jobs.
     """
 
     def __init__(
@@ -71,7 +76,10 @@ class TuningRunner:
         lease_ttl: float | None = None,
         client: ServeClient | None = None,
         log=None,
+        memo_rows: int | None = None,
     ) -> None:
+        if memo_rows is not None:
+            bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
         self.client = client or ServeClient(server_url)
         self.runner_id = runner_id or default_runner_id()
         self.poll = poll

@@ -18,7 +18,7 @@ import math
 from pathlib import Path
 
 from repro import api
-from repro.cache import clear_caches
+from repro.cache import bound_cache, clear_caches
 from repro.errors import ReproError, SearchError
 from repro.hardware.device import get_device
 from repro.search.records import TuningRecord
@@ -49,14 +49,26 @@ class TuningService:
         Warm-start cost models from persisted checkpoints and persist
         them back at job completion (on by default).  Records still
         seed either way.
+    memo_rows:
+        Row budget for the persistent lowering memo
+        (``schedule.memo.LOWERED_ROWS``); None keeps its default
+        capacity.  The memo still clears with every other cache when
+        the queue drains — this knob only bounds its footprint while
+        jobs are in flight.
     """
 
     def __init__(
-        self, cache_dir: str | Path, workers: int = 1, model_cache: bool = True
+        self,
+        cache_dir: str | Path,
+        workers: int = 1,
+        model_cache: bool = True,
+        memo_rows: int | None = None,
     ) -> None:
         self.store = RecordStore(cache_dir)
         self.models = ModelStore(cache_dir)
         self.model_cache = model_cache
+        if memo_rows is not None:
+            bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
         self.queue = JobQueue()
         self.pool = WorkerPool(workers)
         self._results: dict[str, TuneResult] = {}
