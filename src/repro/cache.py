@@ -64,12 +64,14 @@ def registered_caches() -> list[str]:
 # capacity bounding — for caches that persist *across* jobs on purpose
 # ----------------------------------------------------------------------
 _CAPACITY_HOOKS: dict[str, Callable[[int], None]] = {}
+_STATS_HOOKS: dict[str, Callable[[], dict]] = {}
 
 
 def register_bounded(
     name: str,
     clear: Callable[[], None],
     set_capacity: Callable[[int], None],
+    stats: Callable[[], dict] | None = None,
 ) -> None:
     """Register a cache that is both clearable and capacity-bounded.
 
@@ -77,22 +79,49 @@ def register_bounded(
     cache) intentionally survive :func:`clear_caches`-free stretches of
     a job; the service layers use :func:`bound_cache` to cap their
     memory between jobs instead of always dropping them.
+
+    ``stats`` (optional) reports the cache's counters — a dict with any
+    of ``hits`` / ``misses`` / ``evictions`` / ``rows`` — so every
+    registered cache surfaces a uniform hit rate on ``GET /metrics``
+    (see :mod:`repro.obs`).
     """
     register_cache(name, clear)
     with _GUARD:
         _CAPACITY_HOOKS[name] = set_capacity
+    if stats is not None:
+        register_stats(name, stats)
 
 
-def bound_cache(name: str, capacity: int) -> bool:
-    """Set the row capacity of a bounded cache; False if it has none."""
+def register_stats(name: str, stats: Callable[[], dict]) -> None:
+    """Register (or replace) a cache's stats hook under its dotted name."""
+    with _GUARD:
+        _STATS_HOOKS[name] = stats
+
+
+def cache_stats() -> dict[str, dict]:
+    """Current counters of every cache with a stats hook, keyed by name."""
+    with _GUARD:
+        hooks = sorted(_STATS_HOOKS.items())
+    return {name: dict(fn()) for name, fn in hooks}
+
+
+def bound_cache(name: str, capacity: int) -> None:
+    """Set the row capacity of a bounded cache.
+
+    Raises ``KeyError`` naming the registered bounded caches when
+    ``name`` is unknown — silently ignoring a typo'd name used to leave
+    the real cache unbounded, which is exactly the footgun this knob
+    exists to prevent.
+    """
     if capacity < 0:
         raise ValueError("cache capacity must be >= 0")
     with _GUARD:
         hook = _CAPACITY_HOOKS.get(name)
     if hook is None:
-        return False
+        raise KeyError(
+            f"unknown bounded cache {name!r}; registered: {bounded_caches()}"
+        )
     hook(capacity)
-    return True
 
 
 def bounded_caches() -> list[str]:

@@ -37,15 +37,29 @@ class FeatureRowCache:
         ] = OrderedDict()
         self._count = 0
         self._lock = threading.Lock()
+        self.hits = 0  # rows served from the store
+        self.misses = 0  # rows that had to be encoded
+        self.evictions = 0  # rows dropped by capacity pressure
 
     def __len__(self) -> int:
         return self._count
 
     def clear(self) -> None:
-        """Drop every cached row."""
+        """Drop every cached row (hit/miss/eviction counters survive)."""
         with self._lock:
             self._spaces.clear()
             self._count = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counters for hit-rate reporting (``GET /metrics``, bench)."""
+        with self._lock:
+            return {
+                "rows": self._count,
+                "spaces": len(self._spaces),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def set_capacity(self, capacity: int) -> None:
         """Re-bound the cache, evicting immediately if now over."""
@@ -73,6 +87,9 @@ class FeatureRowCache:
             self._spaces.move_to_end(space)
             rows: list[np.ndarray | None] = [inner.get((kind, k)) for k in keys]
         missing = np.flatnonzero([r is None for r in rows])
+        with self._lock:
+            self.hits += len(keys) - len(missing)
+            self.misses += len(missing)
         if len(missing):
             fresh = compute(missing)
             with self._lock:
@@ -92,12 +109,18 @@ class FeatureRowCache:
         return np.stack(rows)  # type: ignore[arg-type]
 
     def _evict(self) -> None:
-        """FIFO-evict rows (oldest space first) until under capacity."""
+        """FIFO-evict rows (oldest space first) until under capacity.
+
+        Counts every dropped row — including drops triggered by a
+        :meth:`set_capacity` shrink, which used to discard accumulated
+        entries without any record.
+        """
         while self._count > self.capacity and self._spaces:
             space, inner = next(iter(self._spaces.items()))
             while inner and self._count > self.capacity:
                 inner.popitem(last=False)
                 self._count -= 1
+                self.evictions += 1
             if not inner:
                 del self._spaces[space]
 
@@ -105,5 +128,8 @@ class FeatureRowCache:
 #: The process-wide instance every batch feature encoder shares.
 FEATURE_ROWS = FeatureRowCache()
 register_bounded(
-    "features.cache.FEATURE_ROWS", FEATURE_ROWS.clear, FEATURE_ROWS.set_capacity
+    "features.cache.FEATURE_ROWS",
+    FEATURE_ROWS.clear,
+    FEATURE_ROWS.set_capacity,
+    stats=FEATURE_ROWS.stats,
 )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.hardware.device import DeviceSpec
 from repro.hardware.simulator import GroundTruthSimulator
 from repro.rng import make_rng
@@ -121,6 +122,7 @@ class MeasureRunner:
                 (n - len(valid_idx)) * self.clock.costs.measure_overhead,
             )
         self.count += n
+        obs.MEASURED.inc(n)
         return MeasureResultBatch(batch=batch, latency=latency, valid=sim.valid)
 
     def measure(self, progs: list[LoweredProgram]) -> list[MeasureResult]:

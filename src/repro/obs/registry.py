@@ -1,0 +1,355 @@
+"""Thread-safe in-process metrics: counters, gauges, histograms.
+
+Stdlib-only (the same constraint as the serving layer): a
+:class:`MetricsRegistry` owns named metric *families*; a family with
+label names hands out one child series per label-value combination, a
+family without labels delegates straight to its single series.  The
+registry renders the whole collection in the Prometheus text exposition
+format (version 0.0.4), which is what ``GET /metrics`` serves.
+
+Two usage patterns:
+
+* **Instrumented code** increments its own series on the hot path::
+
+      FUNNEL = METRICS.counter("repro_funnel_candidates_total",
+                               "Candidates per funnel stage",
+                               labels=("stage",))
+      FUNNEL.labels(stage="drafted").inc(n)
+
+* **Collectors** pull state owned elsewhere (queue depths, cache hit
+  counts) at scrape time — register a callable with
+  :meth:`MetricsRegistry.add_collector` and set gauge/counter totals
+  inside it, so idle processes pay nothing between scrapes.
+
+Metric calls are cheap (one lock + one float add) but not free: batch
+increments (``inc(n)``) rather than incrementing per candidate inside
+vectorized loops.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+#: Bucket upper bounds for stage/request duration histograms (seconds).
+#: Spans microsecond-scale cache fetches to minute-scale tuning rounds.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+#: Content type a Prometheus scraper expects from ``GET /metrics``.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus sample-value formatting (ints without a trailing .0)."""
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Counter:
+    """Monotonically increasing value (decrements are a caller bug)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total — for scrape-time collectors that
+        mirror a count owned elsewhere (cache hit totals), never for
+        hot-path instrumentation."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, lease age)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative ``le`` buckets + sum/count)."""
+
+    __slots__ = ("_buckets", "_counts", "_lock", "_sum", "_total")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        self._buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot: > last bound
+        self._sum = 0.0
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        # le semantics: a value equal to a boundary lands in that bucket
+        i = bisect_left(self._buckets, value)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._total += 1
+
+    def snapshot(self) -> tuple[tuple[float, ...], list[int], float, int]:
+        """(boundaries, per-bucket counts, sum, count) — a consistent view."""
+        with self._lock:
+            return self._buckets, list(self._counts), self._sum, self._total
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+class MetricFamily:
+    """One named metric: label names + a child series per label values.
+
+    An unlabeled family has exactly one child and proxies the metric
+    methods (``inc``/``set``/``observe``/``value``) straight to it, so
+    call sites never branch on whether a metric carries labels.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: tuple[str, ...],
+        make_child: Callable[[], object],
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = label_names
+        self._make_child = make_child
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        self._default = None if label_names else self._child(())
+
+    def _child(self, key: tuple[str, ...]):
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def labels(self, **labels: str):
+        """The child series for one label-value combination (created lazily)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, got {sorted(labels)}"
+            )
+        return self._child(tuple(str(labels[n]) for n in self.label_names))
+
+    def children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def total(self) -> float:
+        """Sum of every child's value (counters/gauges only)."""
+        return sum(child.value for _, child in self.children())
+
+    # -- unlabeled conveniences ----------------------------------------
+    def _only(self):
+        if self._default is None:
+            raise ValueError(f"{self.name} is labeled; use .labels(...)")
+        return self._default
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._only().set(value)
+
+    def set_total(self, value: float) -> None:
+        self._only().set_total(value)
+
+    def observe(self, value: float) -> None:
+        self._only().observe(value)
+
+    def snapshot(self):
+        return self._only().snapshot()
+
+    @property
+    def value(self) -> float:
+        return self._only().value
+
+
+class MetricsRegistry:
+    """A named collection of metric families plus scrape-time collectors.
+
+    Re-requesting a family name returns the existing family (so modules
+    can declare their instruments independently); re-requesting it with
+    a different kind or label set is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[MetricsRegistry], None]] = []
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labels: tuple[str, ...],
+        make_child: Callable[[], object],
+    ) -> MetricFamily:
+        labels = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = MetricFamily(
+                    name, help_text, kind, labels, make_child
+                )
+            elif family.kind != kind or family.label_names != labels:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                    f"{family.label_names}, not {kind}{labels}"
+                )
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._family(name, help_text, "counter", labels, Counter)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._family(name, help_text, "gauge", labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        bounds = tuple(buckets)
+        return self._family(
+            name, help_text, "histogram", labels, lambda: Histogram(bounds)
+        )
+
+    def add_collector(self, collector: Callable[[MetricsRegistry], None]) -> None:
+        """Run ``collector(self)`` at the start of every :meth:`render`."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Prometheus text exposition (0.0.4) of every family."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.children():
+                pairs = [
+                    f'{n}="{_escape_label(v)}"'
+                    for n, v in zip(family.label_names, key)
+                ]
+                if family.kind == "histogram":
+                    lines.extend(self._render_histogram(family.name, pairs, child))
+                else:
+                    label_str = "{" + ",".join(pairs) + "}" if pairs else ""
+                    lines.append(
+                        f"{family.name}{label_str} {_fmt_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    @staticmethod
+    def _render_histogram(name: str, pairs: list[str], hist: Histogram) -> list[str]:
+        bounds, counts, total_sum, total = hist.snapshot()
+        out: list[str] = []
+        running = 0
+        for bound, count in zip(bounds, counts):
+            running += count
+            bucket_pairs = pairs + [f'le="{_fmt_value(bound)}"']
+            out.append(f"{name}_bucket{{{','.join(bucket_pairs)}}} {running}")
+        inf_pairs = pairs + ['le="+Inf"']
+        out.append(f"{name}_bucket{{{','.join(inf_pairs)}}} {total}")
+        label_str = "{" + ",".join(pairs) + "}" if pairs else ""
+        out.append(f"{name}_sum{label_str} {_fmt_value(total_sum)}")
+        out.append(f"{name}_count{label_str} {total}")
+        return out

@@ -18,33 +18,31 @@ per k0 iteration per block.
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.cache import register_lru
 from repro.errors import LoweringError
 from repro.ir.ops import Workload
+from repro.obs import LOWERED
 from repro.schedule.space import ScheduleConfig, ScheduleSpace
-
-# Monotonic count of programs actually lowered (scalar cache misses plus
-# batch-lowered rows — repro.schedule.batch reports its row counts here).
-# Lets benchmarks and CI smoke checks assert that a warm lowering memo
-# round performs strictly fewer lower calls than a cold one.
-_lowered_lock = threading.Lock()
-_lowered_total = 0
 
 
 def note_lowered(n: int) -> None:
-    """Record that ``n`` programs were lowered (memo-effectiveness stats)."""
-    global _lowered_total
-    with _lowered_lock:
-        _lowered_total += n
+    """Record that ``n`` programs were lowered (memo-effectiveness stats).
+
+    Backed by the ``repro_lowered_rows_total`` counter in the
+    :mod:`repro.obs` registry (scalar cache misses plus batch-lowered
+    rows — :mod:`repro.schedule.batch` reports its row counts here), so
+    benchmarks, CI smoke checks, and ``GET /metrics`` all read the same
+    monotonic total.
+    """
+    LOWERED.inc(n)
 
 
 def lowered_count() -> int:
     """Programs lowered so far in this process (never resets)."""
-    return _lowered_total
+    return int(LOWERED.value)
 
 # Memory levels (paper Table 2): L0 = registers, L1 = shared, L2 = global.
 L0, L1, L2 = 0, 1, 2

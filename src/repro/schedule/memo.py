@@ -60,6 +60,7 @@ class LoweredRowCache:
         self._lock = threading.Lock()
         self.hits = 0  # rows served from the arena
         self.misses = 0  # rows that had to be lowered
+        self.evictions = 0  # rows dropped by capacity pressure
 
     def __len__(self) -> int:
         return self._count
@@ -77,13 +78,14 @@ class LoweredRowCache:
             self._evict()
 
     def stats(self) -> dict[str, int]:
-        """Counters for memo-effectiveness checks (bench / CI smoke)."""
+        """Counters for memo-effectiveness checks (bench / CI / metrics)."""
         with self._lock:
             return {
                 "rows": self._count,
                 "spaces": len(self._spaces),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
             }
 
     # ------------------------------------------------------------------
@@ -176,12 +178,16 @@ class LoweredRowCache:
         while self._count > self.capacity and self._spaces:
             _, arena = self._spaces.popitem(last=False)
             self._count -= len(arena.index)
+            self.evictions += len(arena.index)
 
 
 #: The process-wide instance the search policies share.
 LOWERED_ROWS = LoweredRowCache()
 register_bounded(
-    "schedule.memo.LOWERED_ROWS", LOWERED_ROWS.clear, LOWERED_ROWS.set_capacity
+    "schedule.memo.LOWERED_ROWS",
+    LOWERED_ROWS.clear,
+    LOWERED_ROWS.set_capacity,
+    stats=LOWERED_ROWS.stats,
 )
 
 

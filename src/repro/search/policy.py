@@ -19,6 +19,7 @@ from abc import ABC
 
 import numpy as np
 
+from repro import obs
 from repro.config import SearchConfig
 from repro.core.analyzer import is_launchable_mask
 from repro.costmodel.base import CostModel
@@ -87,10 +88,16 @@ class SearchPolicy(ABC):
         This is the verify-path lowering entry: recurring drafted
         candidates (GA elites, warm-start seeds) hit the
         :data:`~repro.schedule.memo.LOWERED_ROWS` arena and skip
-        re-lowering entirely.
+        re-lowering entirely.  Telemetry: the span times the (memoized)
+        lowering, and the funnel counts rows in (``lowered``) vs
+        launchable rows out (``gated``).
         """
-        lowered = lower_batch_memo(self.task.space, configs)
-        return lowered.take(is_launchable_mask(lowered, self.task.device))
+        with obs.span("lower"):
+            lowered = lower_batch_memo(self.task.space, configs)
+        kept = lowered.take(is_launchable_mask(lowered, self.task.device))
+        obs.funnel("lowered", len(lowered))
+        obs.funnel("gated", len(kept))
+        return kept
 
     def _select_indices(
         self,
@@ -202,6 +209,7 @@ class AnsorPolicy(SearchPolicy):
 
         if len(records) == 0:
             # Cold start: no trained model; measure random candidates.
+            obs.funnel("drafted", len(population))
             batch = self._lower_valid_batch(population)
             scores = rng.random(len(batch))
             return self._select_top_batch(batch, scores, records, rng)
@@ -209,6 +217,10 @@ class AnsorPolicy(SearchPolicy):
         pool_batches: list[ConfigBatch] = []
         pool_scores: list[np.ndarray] = []
         for _ in range(self.search.ga_steps):
+            # Every generation's population enters the funnel: Ansor
+            # "drafts" (and scores) far more candidates per round than
+            # Pruner — the asymmetry the funnel counters exist to show.
+            obs.funnel("drafted", len(population))
             batch = self._lower_valid_batch(population)
             if not len(batch):
                 population = random_batch(space, rng, self.search.population)
@@ -217,7 +229,8 @@ class AnsorPolicy(SearchPolicy):
             self.clock.charge_inference(
                 self.model.feature_kind, self.model.kind, len(batch)
             )
-            scores = self.model.predict_batch(batch)
+            with obs.span("score"):
+                scores = self.model.predict_batch(batch)
             assert batch.configs is not None
             pool_batches.append(batch.configs)
             pool_scores.append(scores)

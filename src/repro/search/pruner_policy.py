@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.config import SearchConfig
 from repro.core.analyzer import SymbolBasedAnalyzer
 from repro.core.lse import LatentScheduleExplorer
@@ -57,7 +58,8 @@ class PrunerPolicy(SearchPolicy):
 
         # ----- Draft: LSE under the Symbol-based Analyzer -----
         seeds = [p.config for p in records.best_configs(self.task.key, k=5)]
-        result = self.explorer.explore(space, rng, seeds=seeds)
+        with obs.span("draft"):
+            result = self.explorer.explore(space, rng, seeds=seeds)
         self.clock.charge_sa(result.n_evals)
 
         parts: list[ConfigBatch] = []
@@ -68,7 +70,9 @@ class PrunerPolicy(SearchPolicy):
             parts.append(random_batch(space, rng, n_random))
         if not parts:
             return None
-        draft = self._lower_valid_batch(ConfigBatch.concat(parts))
+        drafted = ConfigBatch.concat(parts)
+        obs.funnel("drafted", len(drafted))
+        draft = self._lower_valid_batch(drafted)
         if not len(draft):
             return None
 
@@ -83,5 +87,6 @@ class PrunerPolicy(SearchPolicy):
             self.clock.charge_inference(
                 self.model.feature_kind, self.model.kind, len(draft)
             )
-            scores = self.model.predict_batch(draft)
+            with obs.span("verify"):
+                scores = self.model.predict_batch(draft)
         return self._select_top_batch(draft, scores, records, rng)

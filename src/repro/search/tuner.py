@@ -18,11 +18,13 @@ modes, matching the paper's experimental settings (Section 5):
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.config import ONLINE_TRAIN, TrainConfig
 from repro.core.moa import MomentumAdapter
 from repro.costmodel.base import CostModel
@@ -49,7 +51,12 @@ class RoundProgress:
     ``round_index`` counts completed rounds (1-based); ``rounds`` is the
     planned total, so consumers can render ``3/8`` without re-deriving
     the plan.  ``latency`` mirrors the tuning curve (inf until every
-    task has a measured trial).
+    task has a measured trial).  ``stages`` and ``funnel`` carry the
+    round's telemetry (stage name -> wall seconds, funnel stage ->
+    candidate count, from the :class:`~repro.obs.RoundTrace`) so
+    consumers — the service's trace sink, runner heartbeats shipping
+    timings into the server's metrics registry — see where the round's
+    time went without re-instrumenting anything.
     """
 
     round_index: int
@@ -57,6 +64,9 @@ class RoundProgress:
     trials: int
     latency: float
     sim_time: float
+    stages: dict[str, float] = field(default_factory=dict)
+    funnel: dict[str, int] = field(default_factory=dict)
+    round_s: float = 0.0  # wall-clock of the whole round
 
     def to_dict(self) -> dict:
         return {
@@ -65,6 +75,9 @@ class RoundProgress:
             "trials": self.trials,
             "latency": self.latency if math.isfinite(self.latency) else None,
             "sim_time": self.sim_time,
+            "stages": dict(self.stages),
+            "funnel": dict(self.funnel),
+            "round_s": self.round_s,
         }
 
 
@@ -151,6 +164,9 @@ class Tuner:
         self.records = RecordLog()
         self.scheduler = GradientTaskScheduler(tasks)
         self._round = 0
+        #: trace of the most recently completed round (telemetry
+        #: consumers read it right after ``step()``).
+        self.last_trace: obs.RoundTrace | None = None
         self._model_trained = False
         #: staleness rank a checkpoint of this model deserves: records
         #: fitted at the most recent update this run, floored (for
@@ -240,6 +256,7 @@ class Tuner:
             point = self._curve_point()
             curve.append(point)
             if progress is not None:
+                trace = self.last_trace
                 progress(
                     RoundProgress(
                         round_index=i + 1,
@@ -247,6 +264,9 @@ class Tuner:
                         trials=point.trials,
                         latency=point.latency,
                         sim_time=point.sim_time,
+                        stages=dict(trace.stages) if trace else {},
+                        funnel=dict(trace.funnel) if trace else {},
+                        round_s=trace.total if trace else 0.0,
                     )
                 )
         if not curve:
@@ -270,31 +290,45 @@ class Tuner:
 
         ``max_trials`` truncates the measurement batch so a trial budget
         is honored exactly, not just at round granularity.
+
+        Every round runs under a fresh :class:`~repro.obs.RoundTrace`:
+        the stage spans inside the policies (draft/score/lower/verify)
+        and here (measure/train) attach to it through the thread-local,
+        and the completed trace lands on :attr:`last_trace`.
         """
-        task = self.scheduler.select(self.records)
-        policy = self.policies[task.key]
-        batch = policy.propose_batch(self.records, self.rng)
-        if batch is not None and max_trials is not None and len(batch) > max_trials:
-            batch = batch.take(np.arange(max_trials))
-        if batch is not None and len(batch):
-            # The packed batch flows straight into the measurement path —
-            # no unpacking to a program list on the hot loop.
-            res = self.runner.measure_batch(batch)
-            sim_time = self.clock.total
-            for i in range(len(batch)):
-                self.records.add(
-                    TuningRecord(
-                        task_key=task.key,
-                        prog=batch.program(i),
-                        latency=float(res.latency[i]),
-                        sim_time=sim_time,
-                        round_index=self._round,
+        trace = obs.RoundTrace(round_index=self._round)
+        start = time.perf_counter()
+        with obs.use_trace(trace):
+            task = self.scheduler.select(self.records)
+            trace.task_key = task.key
+            policy = self.policies[task.key]
+            batch = policy.propose_batch(self.records, self.rng)
+            if batch is not None and max_trials is not None and len(batch) > max_trials:
+                batch = batch.take(np.arange(max_trials))
+            if batch is not None and len(batch):
+                # The packed batch flows straight into the measurement path —
+                # no unpacking to a program list on the hot loop.
+                with obs.span("measure"):
+                    res = self.runner.measure_batch(batch)
+                obs.funnel("measured", len(batch))
+                sim_time = self.clock.total
+                for i in range(len(batch)):
+                    self.records.add(
+                        TuningRecord(
+                            task_key=task.key,
+                            prog=batch.program(i),
+                            latency=float(res.latency[i]),
+                            sim_time=sim_time,
+                            round_index=self._round,
+                        )
                     )
-                )
-        self.scheduler.notify(task, self.records)
-        self._round += 1
-        if self.mode != "offline" and self._round % self.train_every == 0:
-            self._update_model()
+            self.scheduler.notify(task, self.records)
+            self._round += 1
+            if self.mode != "offline" and self._round % self.train_every == 0:
+                self._update_model()
+        trace.total = time.perf_counter() - start
+        obs.ROUNDS.inc()
+        self.last_trace = trace
 
     def checkpoint(self) -> dict | None:
         """Serializable cost-model state worth persisting, or None.
@@ -320,13 +354,14 @@ class Tuner:
         progs, lats, keys = self.records.training_data()
         if len(progs) < MIN_TRAIN_RECORDS:
             return
-        if self.mode == "moa":
-            assert self.adapter is not None
-            self.adapter.load_into(self.model)  # 1. Load Param
-            self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
-            self.adapter.update_from(self.model)  # 3. Momentum update
-        else:  # online / finetune: keep training the live model
-            self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
+        with obs.span("train"):
+            if self.mode == "moa":
+                assert self.adapter is not None
+                self.adapter.load_into(self.model)  # 1. Load Param
+                self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
+                self.adapter.update_from(self.model)  # 3. Momentum update
+            else:  # online / finetune: keep training the live model
+                self.model.fit(progs, lats, keys, train=self.train, rng=self.rng)
         self._model_trained = True
         self.model_trained_on = max(len(progs), self._inherited_trained_on)
         self.clock.charge_training(self.model.kind, len(progs), self.train.epochs)

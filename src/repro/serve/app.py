@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 
-from repro import api
+from repro import api, obs
 from repro.errors import ReproError
 from repro.hardware.device import get_device
-from repro.serve.http import HttpError, route
+from repro.obs import PROM_CONTENT_TYPE, MetricsRegistry
+from repro.serve.http import HttpError, TextResponse, route
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     LeaseTable,
@@ -113,9 +115,30 @@ class ServeApp:
         self._results_lock = threading.Lock()
         self._store_keys: dict[tuple, StoreKey] = {}
         self._store_keys_lock = threading.Lock()
+        # Server-owned metrics: queue/lease gauges are pulled at scrape
+        # time by a collector (idle servers pay nothing), runner round
+        # counters and stage histograms are pushed by heartbeats.  The
+        # HTTP layer finds this registry via the ``metrics`` attribute.
+        self.metrics = MetricsRegistry()
+        self._started = time.monotonic()
+        self._runner_rounds = self.metrics.counter(
+            "repro_runner_rounds_total",
+            "Tuning rounds reported by runner heartbeats.",
+            labels=("runner",),
+        )
+        self._runner_stages = self.metrics.histogram(
+            "repro_runner_stage_seconds",
+            "Per-stage wall seconds from runner round reports.",
+            labels=("runner", "stage"),
+        )
+        self.metrics.add_collector(self._collect)
+        #: last round index noted per lease — heartbeats repeat a round's
+        #: progress until the next one lands; only fresh rounds count.
+        self._noted_rounds: dict[str, int] = {}
         self._restore()
         self.routes = [
             route("GET", r"/healthz", self.handle_healthz),
+            route("GET", r"/metrics", self.handle_metrics),
             route("POST", r"/jobs/?", self.handle_submit),
             route("GET", r"/jobs/?", self.handle_list_jobs),
             route("GET", r"/jobs/(?P<job_id>[^/]+)/result", self.handle_result),
@@ -244,9 +267,71 @@ class ServeApp:
         return key
 
     def _reap_expired(self) -> None:
-        """Requeue jobs whose runner went silent past its lease."""
-        for lease in self.leases.expired():
+        """Requeue jobs whose runner went silent past its lease.
+
+        Persists the ledger when anything actually expired: the requeue
+        (running -> pending) must survive a crash even when the only
+        traffic that triggered it was a probe (``/healthz``,
+        ``/metrics``) rather than a state-changing request.
+        """
+        expired = self.leases.expired()
+        for lease in expired:
             self.queue.release(lease.job_id)
+            self._noted_rounds.pop(lease.lease_id, None)
+        if expired:
+            self._save_ledger()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _collect(self, registry: MetricsRegistry) -> None:
+        """Scrape-time pull of queue/lease state into the registry."""
+        counts = self.queue.counts()
+        jobs = registry.gauge(
+            "repro_jobs", "Known jobs by lifecycle state.", labels=("state",)
+        )
+        for state, n in counts.items():
+            jobs.labels(state=state).set(n)
+        registry.gauge(
+            "repro_jobs_queue_depth", "Jobs waiting to be claimed."
+        ).set(counts.get("pending", 0))
+        registry.gauge(
+            "repro_leases_active", "Leases currently held by runners."
+        ).set(self.leases.active())
+        registry.gauge(
+            "repro_lease_age_seconds_max",
+            "Age of the oldest active lease (seconds since last beat).",
+        ).set(self.leases.max_age())
+        uptime = max(time.monotonic() - self._started, 1e-9)
+        registry.gauge(
+            "repro_rounds_per_second",
+            "Fleet-wide tuning-round completion rate over server uptime.",
+        ).set(self._runner_rounds.total() / uptime)
+
+    def _note_round(self, lease, progress: dict) -> None:
+        """Ingest one heartbeat's round report into metrics + traces.
+
+        Heartbeats re-send the latest round's progress until the next
+        round completes, so the round index gates ingestion — each round
+        counts once no matter how many beats carry it.
+        """
+        round_index = progress.get("round")
+        if not isinstance(round_index, int):
+            return
+        if self._noted_rounds.get(lease.lease_id) == round_index:
+            return
+        self._noted_rounds[lease.lease_id] = round_index
+        self._runner_rounds.labels(runner=lease.runner_id).inc()
+        stages = progress.get("stages")
+        if isinstance(stages, dict):
+            for stage, seconds in stages.items():
+                if isinstance(seconds, (int, float)):
+                    self._runner_stages.labels(
+                        runner=lease.runner_id, stage=str(stage)
+                    ).observe(float(seconds))
+        self.service.traces.write(
+            lease.job_id, {"job_id": lease.job_id, "runner": lease.runner_id, **progress}
+        )
 
     # ------------------------------------------------------------------
     # front-end handlers
@@ -259,6 +344,16 @@ class ServeApp:
             "jobs": self.queue.counts(),
             "active_leases": self.leases.active(),
         }
+
+    def handle_metrics(self, match, query, body):
+        """Prometheus text exposition: server state + process-wide repro
+        metrics (cache hit rates and, for in-process tuning, stage
+        timings).  Reaps first so an idle server's scrape still shows
+        expired leases as requeued jobs, not phantom active leases.
+        """
+        self._reap_expired()
+        text = self.metrics.render() + obs.METRICS.render()
+        return 200, TextResponse(text, PROM_CONTENT_TYPE)
 
     def handle_submit(self, match, query, body):
         unknown = set(body) - _SUBMIT_FIELDS
@@ -393,7 +488,9 @@ class ServeApp:
         self._reap_expired()
         try:
             if drop:
-                return self.leases.release(lease_id, runner_id)
+                lease = self.leases.release(lease_id, runner_id)
+                self._noted_rounds.pop(lease_id, None)
+                return lease
             return self.leases.heartbeat(lease_id, runner_id)
         except KeyError:
             raise HttpError(
@@ -408,6 +505,7 @@ class ServeApp:
         progress = body.get("progress")
         if isinstance(progress, dict):
             self.queue.update_progress(lease.job_id, progress)
+            self._note_round(lease, progress)
         return 200, {
             "job_id": lease.job_id,
             "ttl": lease.ttl,

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import json
 import re
+import time
 import urllib.parse
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 #: Request body size cap (covers record uploads from a runner fleet;
@@ -39,6 +41,24 @@ class HttpError(Exception):
 def route(method: str, pattern: str, handler) -> tuple[str, re.Pattern, object]:
     """One routing-table entry; ``pattern`` is full-matched against the path."""
     return (method, re.compile(pattern), handler)
+
+
+@dataclass(frozen=True)
+class TextResponse:
+    """A non-JSON response body (e.g. Prometheus text for ``/metrics``).
+
+    Handlers normally return dict payloads; returning a ``TextResponse``
+    instead sends ``body`` verbatim under ``content_type``.
+    """
+
+    body: str
+    content_type: str = "text/plain; charset=utf-8"
+
+
+def _route_label(handler) -> str:
+    """Stable per-route metric label: the handler name minus ``handle_``."""
+    name = getattr(handler, "__name__", "unknown")
+    return name.removeprefix("handle_")
 
 
 class JsonRequestHandler(BaseHTTPRequestHandler):
@@ -68,17 +88,49 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
             raise HttpError(400, "request body must be a JSON object")
         return body
 
-    def _respond(self, status: int, payload: dict | None) -> None:
-        data = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    def _respond(self, status: int, payload: dict | TextResponse | None) -> None:
+        if isinstance(payload, TextResponse):
+            data = payload.body.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            data = b"" if payload is None else json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         if data:
             self.wfile.write(data)
 
+    def _observe(self, method: str, route_label: str, status: int, t0: float) -> None:
+        """Record one served request into the app's metrics registry.
+
+        Only matched routes are recorded — 404s over arbitrary paths
+        would otherwise mint unbounded label values.
+        """
+        metrics = getattr(self.app, "metrics", None)
+        if metrics is None:
+            return
+        try:
+            metrics.histogram(
+                "repro_http_request_seconds",
+                "HTTP request handling latency.",
+                labels=("method", "route"),
+            ).labels(method=method, route=route_label).observe(
+                time.perf_counter() - t0
+            )
+            metrics.counter(
+                "repro_http_requests_total",
+                "HTTP requests served.",
+                labels=("method", "route", "code"),
+            ).labels(method=method, route=route_label, code=str(status)).inc()
+        except ValueError:
+            pass  # a conflicting app-owned family must not break serving
+
     def _dispatch(self, method: str) -> None:
         path, _, raw_query = self.path.partition("?")
+        route_label: str | None = None
+        t0 = time.perf_counter()
         try:
             query = {
                 key: values[0]
@@ -91,16 +143,22 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
                 match = pattern.fullmatch(path)
                 if match is None:
                     continue
+                route_label = _route_label(handler)
                 status, payload = handler(match, query, body)
                 self._respond(status, payload)
+                self._observe(method, route_label, status, t0)
                 return
             raise HttpError(404, f"no route for {method} {path}")
         except HttpError as exc:
             self._respond(exc.status, {"error": exc.message, **exc.payload})
+            if route_label is not None:
+                self._observe(method, route_label, exc.status, t0)
         except BrokenPipeError:
             pass  # client went away mid-response; nothing to tell it
         except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the server
             self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+            if route_label is not None:
+                self._observe(method, route_label, 500, t0)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib dispatch names

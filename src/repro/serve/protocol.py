@@ -198,6 +198,23 @@ class LeaseTable:
         with self._lock:
             return len(self._leases)
 
+    def max_age(self) -> float:
+        """Age in seconds of the oldest active lease (0.0 when none).
+
+        Age counts from the last grant/heartbeat (``deadline - ttl``),
+        so a fleet that beats on time reports small ages and a wedged
+        runner shows up as a monotonically growing one — the signal the
+        ``repro_lease_age_seconds_max`` gauge exists to expose.
+        """
+        now = self._clock()
+        with self._lock:
+            if not self._leases:
+                return 0.0
+            return max(
+                max(0.0, now - (lease.deadline - lease.ttl))
+                for lease in self._leases.values()
+            )
+
 
 # ----------------------------------------------------------------------
 # wire forms

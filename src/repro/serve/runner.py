@@ -27,6 +27,7 @@ import threading
 
 from repro import api
 from repro.cache import bound_cache, clear_caches
+from repro.errors import SearchError
 from repro.hardware.device import get_device
 from repro.search.tuner import TuneResult
 from repro.serve.client import ServeClient, ServeError
@@ -79,7 +80,10 @@ class TuningRunner:
         memo_rows: int | None = None,
     ) -> None:
         if memo_rows is not None:
-            bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
+            try:
+                bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
+            except KeyError as exc:
+                raise SearchError(str(exc)) from None
         self.client = client or ServeClient(server_url)
         self.runner_id = runner_id or default_runner_id()
         self.poll = poll

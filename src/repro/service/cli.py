@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="show job ledger and store stats")
     status.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also summarize per-stage timings and the candidate funnel "
+        "from the trace sink (<cache>/traces/)",
+    )
 
     export = sub.add_parser("export", help="dump persisted records as JSON")
     export.add_argument("--cache-dir", default=DEFAULT_CACHE)
@@ -216,6 +222,42 @@ def _cmd_status(args: argparse.Namespace, out) -> int:
             f" {entry['kind']} trained on {entry['trained_trials']} trials",
             file=out,
         )
+    if args.metrics:
+        _print_trace_metrics(store.root, out)
+    return 0
+
+
+def _print_trace_metrics(root, out) -> int:
+    """Aggregate the trace sink into a stage/funnel summary."""
+    from repro.obs import TraceSink
+
+    summary = TraceSink(root / "traces").summarize()
+    print("tuning metrics:", file=out)
+    if not summary["rounds"]:
+        print("  (no traces recorded)", file=out)
+        return 0
+    print(
+        f"  {summary['rounds']} round(s) across {summary['jobs']} job(s),"
+        f" {summary['total_s']:.3f} s total",
+        file=out,
+    )
+    total = summary["total_s"] or 1.0
+    print("  stage breakdown:", file=out)
+    for stage, seconds in sorted(
+        summary["stages"].items(), key=lambda kv: -kv[1]
+    ):
+        print(
+            f"    {stage:<10} {seconds:9.3f} s  ({100.0 * seconds / total:5.1f}%)",
+            file=out,
+        )
+    if summary["funnel"]:
+        print("  candidate funnel:", file=out)
+        for stage in ("drafted", "lowered", "gated", "measured"):
+            if stage in summary["funnel"]:
+                print(f"    {stage:<10} {summary['funnel'][stage]}", file=out)
+        for stage, count in sorted(summary["funnel"].items()):
+            if stage not in ("drafted", "lowered", "gated", "measured"):
+                print(f"    {stage:<10} {count}", file=out)
     return 0
 
 

@@ -21,6 +21,7 @@ from repro import api
 from repro.cache import bound_cache, clear_caches
 from repro.errors import ReproError, SearchError
 from repro.hardware.device import get_device
+from repro.obs import TraceSink
 from repro.search.records import TuningRecord
 from repro.search.tuner import TuneResult
 from repro.service.jobs import JobQueue, JobState, TuneJob
@@ -66,9 +67,18 @@ class TuningService:
     ) -> None:
         self.store = RecordStore(cache_dir)
         self.models = ModelStore(cache_dir)
+        #: per-job round traces (JSONL under ``<cache>/traces/``) — the
+        #: durable form of the telemetry heartbeats and round callbacks
+        #: carry; ``python -m repro.service status --metrics`` reads it.
+        self.traces = TraceSink(self.store.root / "traces")
         self.model_cache = model_cache
         if memo_rows is not None:
-            bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
+            try:
+                bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
+            except KeyError as exc:
+                # the memo failed to register (import-order bug) — a
+                # misconfigured bound must fail loudly, not silently
+                raise SearchError(str(exc)) from None
         self.queue = JobQueue()
         self.pool = WorkerPool(workers)
         self._results: dict[str, TuneResult] = {}
@@ -154,7 +164,9 @@ class TuningService:
 
     def _run_job(self, job: TuneJob) -> TuneResult:
         def on_round(progress) -> None:
-            self.queue.update_progress(job.job_id, progress.to_dict())
+            snapshot = progress.to_dict()
+            self.queue.update_progress(job.job_id, snapshot)
+            self.traces.write(job.job_id, {"job_id": job.job_id, **snapshot})
 
         def should_stop() -> bool:
             return self.queue.cancel_requested(job.job_id)

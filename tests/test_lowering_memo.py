@@ -119,7 +119,13 @@ class TestLoweredRowCache:
         cache = LoweredRowCache()
         configs = random_batch(matmul_space, make_rng(3), 20)
         cache.lower(matmul_space, configs)
-        assert cache.stats() == {"rows": 20, "spaces": 1, "hits": 0, "misses": 20}
+        assert cache.stats() == {
+            "rows": 20,
+            "spaces": 1,
+            "hits": 0,
+            "misses": 20,
+            "evictions": 0,
+        }
         cache.lower(matmul_space, configs)
         assert cache.stats()["hits"] == 20
         assert cache.stats()["misses"] == 20
@@ -171,9 +177,10 @@ class TestLoweredRowCache:
         assert "features.cache.FEATURE_ROWS" in bounded_caches()
         lower_batch_memo(matmul_space, random_batch(matmul_space, make_rng(10), 5))
         assert len(LOWERED_ROWS) == 5
-        assert bound_cache("schedule.memo.LOWERED_ROWS", 2)
+        bound_cache("schedule.memo.LOWERED_ROWS", 2)
         assert len(LOWERED_ROWS) == 0  # whole-space FIFO: 5 > 2 drops the space
-        assert not bound_cache("no.such.cache", 4)
+        with pytest.raises(KeyError, match="no.such.cache"):
+            bound_cache("no.such.cache", 4)
         with pytest.raises(ValueError):
             bound_cache("schedule.memo.LOWERED_ROWS", -1)
 
