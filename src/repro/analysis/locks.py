@@ -1,0 +1,542 @@
+"""Lock discipline: unguarded shared-state access + lock-order cycles.
+
+For every :class:`~repro.analysis.manifest.SharedClass` and
+:class:`~repro.analysis.manifest.ModuleLock` the manifest declares, this
+rule walks method/function bodies tracking which declared locks are held
+through ``with self._lock:`` (or ``with _MODULE_LOCK:``) blocks and
+reports:
+
+``lock-unguarded-write``
+    a guarded attribute/global is assigned, deleted, subscript-stored,
+    or mutated in place (``.append``/``.pop``/...) without its lock.
+``lock-unguarded-read``
+    a guarded attribute/global is read without its lock.  Reads race
+    with structural mutation (dict resize, list shift) just like
+    writes; the rare benign case is annotated with a suppression
+    comment, never silently allowed.
+``lock-helper-unlocked``
+    a method the manifest declares as *assuming* a lock (``_evict``
+    style) is called at a site that does not hold it.
+``lock-reacquire``
+    a region holding a lock re-acquires it — directly or through a
+    callee — which self-deadlocks on non-reentrant ``threading.Lock``.
+``lock-cycle``
+    the static lock-acquisition graph (edges ``A -> B`` whenever code
+    can acquire B while holding A, closed transitively over resolvable
+    calls) contains a cycle: two threads taking the locks in opposite
+    order can deadlock.
+
+The walk is conservative where it must be: nested ``def``/``lambda``
+bodies run later under unknown lock state, so they are analyzed as
+holding nothing; comprehension bodies execute in place and keep the
+surrounding hold set.  Calls resolve within the scanned tree (same
+class, same module, declared-class constructors) plus the manifest's
+``function_acquirers`` escape hatch for callables that take locks the
+scan cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.manifest import Manifest, SharedClass
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Call-graph site: (module rel path, line, enclosing qualname).
+Site = tuple[str, int, str]
+
+
+@dataclass
+class _Guard:
+    node: str  # graph node name, e.g. "obs.registry.Counter._lock"
+    display: str  # how code spells the acquisition, e.g. "self._lock"
+
+
+@dataclass
+class _Fn:
+    """One analyzed function: what it acquires and whom it calls."""
+
+    key: tuple
+    qualname: str
+    module: ModuleInfo
+    direct: set[str] = field(default_factory=set)
+    calls: list[tuple[tuple, frozenset, int]] = field(default_factory=list)
+    nested: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+@dataclass
+class _Context:
+    """Everything the walker needs about one function's surroundings."""
+
+    module: ModuleInfo
+    spec: SharedClass | None
+    lock_by_attr: dict[str, _Guard]  # self.<attr> locks
+    lock_by_global: dict[str, _Guard]  # module-global locks
+    attr_guards: dict[str, _Guard]  # shared attr -> its lock
+    global_guards: dict[str, _Guard]  # shared global -> its lock
+    helpers: dict[str, _Guard]  # helper method -> assumed lock
+
+    def owner(self) -> str:
+        return self.spec.name if self.spec else self.module.rel
+
+
+def _lock_of(ctx: _Context, expr: ast.expr) -> _Guard | None:
+    """The declared lock an expression names, if any."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return ctx.lock_by_attr.get(expr.attr)
+    if isinstance(expr, ast.Name):
+        return ctx.lock_by_global.get(expr.id)
+    return None
+
+
+def _base_shared(ctx: _Context, expr: ast.expr):
+    """The guarded base of an lvalue/receiver, descending subscripts.
+
+    ``self._spaces[k]`` and ``self._spaces[k].inner`` both resolve to
+    the ``_spaces`` guard: mutating through a container still races the
+    container's other users.  Returns ``(name, guard, node)`` or None.
+    """
+    while isinstance(expr, (ast.Subscript, ast.Starred)):
+        expr = expr.value
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in ctx.attr_guards
+    ):
+        return expr.attr, ctx.attr_guards[expr.attr], expr
+    if isinstance(expr, ast.Name) and expr.id in ctx.global_guards:
+        return expr.id, ctx.global_guards[expr.id], expr
+    return None
+
+
+def _flatten_targets(target: ast.expr):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield target
+
+
+def _walk_function(
+    fn_node,
+    ctx: _Context,
+    qualname: str,
+    key: tuple,
+    check_access: bool,
+    assumed: _Guard | None,
+    findings: list[Finding],
+) -> _Fn:
+    out = _Fn(key=key, qualname=qualname, module=ctx.module)
+    claimed: set[int] = set()
+
+    def report(rule: str, line: int, message: str) -> None:
+        if check_access:
+            findings.append(
+                Finding(
+                    rule=rule,
+                    path=ctx.module.rel,
+                    line=line,
+                    message=message,
+                    symbol=qualname,
+                    severity=ERROR,
+                )
+            )
+
+    def check_write(name: str, guard: _Guard, held: frozenset, line: int) -> None:
+        if guard.node not in held:
+            report(
+                "lock-unguarded-write",
+                line,
+                f"write to shared {ctx.owner()}.{name} outside "
+                f"`with {guard.display}`",
+            )
+
+    def check_read(name: str, guard: _Guard, held: frozenset, line: int) -> None:
+        if guard.node not in held:
+            report(
+                "lock-unguarded-read",
+                line,
+                f"unguarded read of shared {ctx.owner()}.{name} "
+                f"(guarded by {guard.display})",
+            )
+
+    def handle(node: ast.AST, held: frozenset) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    hit = _base_shared(ctx, leaf)
+                    if hit is not None:
+                        name, guard, base = hit
+                        claimed.add(id(base))
+                        check_write(name, guard, held, node.lineno)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                hit = _base_shared(ctx, target)
+                if hit is not None:
+                    name, guard, base = hit
+                    claimed.add(id(base))
+                    check_write(name, guard, held, node.lineno)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                receiver = func.value
+                if func.attr in MUTATORS:
+                    hit = _base_shared(ctx, receiver)
+                    if hit is not None:
+                        name, guard, base = hit
+                        claimed.add(id(base))
+                        check_write(name, guard, held, node.lineno)
+                        return
+                if isinstance(receiver, ast.Name) and receiver.id == "self":
+                    method = func.attr
+                    helper = ctx.helpers.get(method)
+                    if helper is not None and helper.node not in held:
+                        report(
+                            "lock-helper-unlocked",
+                            node.lineno,
+                            f"{ctx.owner()}.{method} assumes "
+                            f"`{helper.display}` is held but is called "
+                            "here without it",
+                        )
+                    if ctx.spec is not None:
+                        out.calls.append(
+                            (
+                                ("method", ctx.spec.node, method),
+                                held,
+                                node.lineno,
+                            )
+                        )
+                else:
+                    # dotted call into another namespace: resolvable
+                    # only through the manifest's function_acquirers
+                    out.calls.append(
+                        (("ext", None, func.attr), held, node.lineno)
+                    )
+            elif isinstance(func, ast.Name):
+                out.calls.append(
+                    (("name", ctx.module.rel, func.id), held, node.lineno)
+                )
+        elif isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.ctx, ast.Load)
+                and id(node) not in claimed
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in ctx.attr_guards
+            ):
+                check_read(
+                    node.attr, ctx.attr_guards[node.attr], held, node.lineno
+                )
+        elif isinstance(node, ast.Name):
+            if (
+                isinstance(node.ctx, ast.Load)
+                and id(node) not in claimed
+                and node.id in ctx.global_guards
+            ):
+                check_read(
+                    node.id, ctx.global_guards[node.id], held, node.lineno
+                )
+
+    def visit(node: ast.AST, held: frozenset) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested def runs later, under unknown lock state
+            for decorator in node.decorator_list:
+                visit(decorator, held)
+            for stmt in node.body:
+                visit(stmt, frozenset())
+            return
+        if isinstance(node, ast.Lambda):
+            visit(node.body, frozenset())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                guard = _lock_of(ctx, item.context_expr)
+                if guard is None:
+                    visit(item.context_expr, held)
+                else:
+                    if guard.node in held:
+                        report(
+                            "lock-reacquire",
+                            node.lineno,
+                            f"`with {guard.display}` while already "
+                            "holding it — threading.Lock is not "
+                            "reentrant; this deadlocks",
+                        )
+                    out.direct.add(guard.node)
+                    for holder in held:
+                        out.nested.append((holder, guard.node, node.lineno))
+                    acquired.append(guard.node)
+            inner = held | frozenset(acquired)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        handle(node, held)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    initial = frozenset() if assumed is None else frozenset({assumed.node})
+    for stmt in fn_node.body:
+        visit(stmt, initial)
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-module analysis
+# ----------------------------------------------------------------------
+def _module_context(module: ModuleInfo, manifest: Manifest):
+    lock_by_global: dict[str, _Guard] = {}
+    global_guards: dict[str, _Guard] = {}
+    for mlock in manifest.module_locks_in(module.rel):
+        guard = _Guard(node=mlock.node, display=mlock.name)
+        lock_by_global[mlock.name] = guard
+        for name in mlock.guards:
+            global_guards[name] = guard
+    return lock_by_global, global_guards
+
+
+def _analyze(modules: list[ModuleInfo], manifest: Manifest):
+    """Walk every declared context; returns (findings, funcs, classmap)."""
+    findings: list[Finding] = []
+    funcs: dict[tuple, _Fn] = {}
+    classmap: dict[tuple[str, str], str] = {}  # (rel, class name) -> node
+
+    for module in modules:
+        class_specs = manifest.classes_in(module.rel)
+        lock_by_global, global_guards = _module_context(module, manifest)
+        if not class_specs and not lock_by_global:
+            continue
+        specs_by_name = {spec.name: spec for spec in class_specs}
+        for spec in class_specs:
+            classmap[(module.rel, spec.name)] = spec.node
+
+        for top in module.tree.body:
+            if isinstance(top, ast.ClassDef) and top.name in specs_by_name:
+                spec = specs_by_name[top.name]
+                lock_by_attr = {
+                    attr: _Guard(
+                        node=spec.lock_node(attr), display=f"self.{attr}"
+                    )
+                    for attr in spec.locks
+                }
+                attr_guards = {
+                    shared: lock_by_attr[lock_attr]
+                    for lock_attr, shared_attrs in spec.locks.items()
+                    for shared in shared_attrs
+                }
+                helpers = {
+                    method: lock_by_attr[lock_attr]
+                    for method, lock_attr in spec.helpers.items()
+                }
+                ctx = _Context(
+                    module=module,
+                    spec=spec,
+                    lock_by_attr=lock_by_attr,
+                    lock_by_global=lock_by_global,
+                    attr_guards=attr_guards,
+                    global_guards=global_guards,
+                    helpers=helpers,
+                )
+                for item in top.body:
+                    if not isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    key = ("method", spec.node, item.name)
+                    fn = _walk_function(
+                        item,
+                        ctx,
+                        qualname=f"{spec.name}.{item.name}",
+                        key=key,
+                        # __init__ builds the state the locks will guard;
+                        # acquisition/call tracking still applies
+                        check_access=item.name != "__init__",
+                        assumed=helpers.get(item.name),
+                        findings=findings,
+                    )
+                    funcs[key] = fn
+            elif isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                ctx = _Context(
+                    module=module,
+                    spec=None,
+                    lock_by_attr={},
+                    lock_by_global=lock_by_global,
+                    attr_guards={},
+                    global_guards=global_guards,
+                    helpers={},
+                )
+                key = ("func", module.rel, top.name)
+                funcs[key] = _walk_function(
+                    top,
+                    ctx,
+                    qualname=top.name,
+                    key=key,
+                    check_access=True,
+                    assumed=None,
+                    findings=findings,
+                )
+    return findings, funcs, classmap
+
+
+# ----------------------------------------------------------------------
+# the lock-acquisition graph
+# ----------------------------------------------------------------------
+def _resolve(callee: tuple, acq: dict, classmap: dict, manifest: Manifest):
+    kind, scope, name = callee
+    targets: set[str] = set(manifest.function_acquirers.get(name, ()))
+    if kind == "method":
+        targets |= acq.get(("method", scope, name), set())
+    elif kind == "name":
+        targets |= acq.get(("func", scope, name), set())
+        node = classmap.get((scope, name))
+        if node is not None:
+            targets |= acq.get(("method", node, "__init__"), set())
+    return targets
+
+
+def _graph(funcs: dict, classmap: dict, manifest: Manifest):
+    """Transitive acquire sets + the lock-order edge map."""
+    acq = {key: set(fn.direct) for key, fn in funcs.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, fn in funcs.items():
+            for callee, _held, _line in fn.calls:
+                targets = _resolve(callee, acq, classmap, manifest)
+                if not targets <= acq[key]:
+                    acq[key] |= targets
+                    changed = True
+
+    edges: dict[tuple[str, str], Site] = {}
+    reacquires: list[tuple[str, Site]] = []
+    for key, fn in funcs.items():
+        for holder, target, line in fn.nested:
+            edges.setdefault(
+                (holder, target), (fn.module.rel, line, fn.qualname)
+            )
+        for callee, held, line in fn.calls:
+            targets = _resolve(callee, acq, classmap, manifest)
+            site = (fn.module.rel, line, fn.qualname)
+            for holder in held:
+                for target in targets:
+                    if target == holder:
+                        reacquires.append((holder, site))
+                    else:
+                        edges.setdefault((holder, target), site)
+    return edges, reacquires
+
+
+def _find_cycles(edges: dict[tuple[str, str], Site]) -> list[list[str]]:
+    adjacency: dict[str, list[str]] = {}
+    for holder, target in edges:
+        adjacency.setdefault(holder, []).append(target)
+        adjacency.setdefault(target, [])
+    for targets in adjacency.values():
+        targets.sort()
+
+    cycles: list[list[str]] = []
+    seen_sets: set[frozenset] = set()
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+    stack: list[str] = []
+
+    def dfs(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in adjacency[node]:
+            if state.get(nxt, 0) == 1:
+                cycle = stack[stack.index(nxt) :]
+                key = frozenset(cycle)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(list(cycle))
+            elif state.get(nxt, 0) == 0:
+                dfs(nxt)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(adjacency):
+        if state.get(node, 0) == 0:
+            dfs(node)
+    return cycles
+
+
+def static_edges(
+    modules: list[ModuleInfo], manifest: Manifest
+) -> dict[tuple[str, str], Site]:
+    """The static lock-order edge map (used by the lockcheck plugin)."""
+    _findings, funcs, classmap = _analyze(modules, manifest)
+    edges, _reacquires = _graph(funcs, classmap, manifest)
+    return edges
+
+
+def check(modules: list[ModuleInfo], manifest: Manifest) -> list[Finding]:
+    findings, funcs, classmap = _analyze(modules, manifest)
+    edges, reacquires = _graph(funcs, classmap, manifest)
+
+    for node, (rel, line, qualname) in reacquires:
+        findings.append(
+            Finding(
+                rule="lock-reacquire",
+                path=rel,
+                line=line,
+                message=(
+                    f"{qualname} calls into code that re-acquires {node} "
+                    "while it is already held — threading.Lock is not "
+                    "reentrant; this deadlocks"
+                ),
+                symbol=qualname,
+                severity=ERROR,
+            )
+        )
+
+    for cycle in _find_cycles(edges):
+        loop = cycle + [cycle[0]]
+        first_edge = (cycle[0], cycle[1 % len(cycle)]) if len(cycle) > 1 else None
+        site = edges.get(first_edge) if first_edge else None
+        rel, line, qualname = site if site else ("", 0, "")
+        findings.append(
+            Finding(
+                rule="lock-cycle",
+                path=rel,
+                line=line,
+                message=(
+                    "lock-order cycle: " + " -> ".join(loop) + " — two "
+                    "threads acquiring in opposite order can deadlock"
+                ),
+                symbol=qualname,
+                severity=ERROR,
+            )
+        )
+    return findings

@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cache import register_lru
 from repro.config import (
     LITE_SEARCH,
     ONLINE_TRAIN,
@@ -152,6 +153,9 @@ def model_kind(method: str) -> str:
     A class-attribute read — no model is constructed.
     """
     return _model_class(resolve_method(method)).kind
+
+
+register_lru("api.model_kind", model_kind)
 
 
 def _default_model(method: str, seed: int) -> CostModel:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 
 from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable
-from repro.errors import TuningFailure
+from repro.errors import ScheduleError, TuningFailure
 from repro.hardware.device import DeviceSpec
 from repro.hardware.measure import MeasureRunner
 from repro.ir.ops import Workload
@@ -75,7 +75,7 @@ class FelixTuner:
                     moved = current.with_tile(axis, _move_factor(rng, factors))
                     try:
                         space.validate(moved)
-                    except Exception:
+                    except ScheduleError:  # off-space move: try another
                         continue
                     cost = self._cost(space, moved)
                     if cost < best_cost:

@@ -17,7 +17,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.core.analyzer import SymbolBasedAnalyzer, is_launchable
-from repro.errors import TuningFailure
+from repro.errors import ReproError, TuningFailure
 from repro.hardware.device import DeviceSpec
 from repro.hardware.measure import MeasureRunner
 from repro.ir.ops import Workload
@@ -106,7 +106,7 @@ class TLMTuner:
                 continue
             try:
                 prog = lower(space, cfg)
-            except Exception:
+            except ReproError:  # unlowerable sample: skip, keep drawing
                 continue
             if is_launchable(prog, self.device):
                 seen.add(cfg.key)

@@ -39,6 +39,12 @@ class DatasetError(ReproError):
     """Raised for dataset construction or lookup failures."""
 
 
+class AnalysisError(ReproError):
+    """Raised for static-analysis misuse: bad manifests, unparseable
+    sources, or baseline files that violate the no-baseline policy for
+    lock-discipline and determinism findings."""
+
+
 class TuningFailure(SearchError):
     """Raised when a tuner cannot produce any valid schedule.
 

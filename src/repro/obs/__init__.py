@@ -80,6 +80,18 @@ LOWERED = METRICS.counter(
     "repro_lowered_rows_total", "Programs lowered in this process"
 )
 
+#: Exceptions swallowed by top-level catch-all handlers (HTTP dispatch,
+#: runner attempts, worker loops).  Those handlers legitimately catch
+#: everything — a bug must not kill the process — but every swallow
+#: must become a count: a silent failure loop shows up here long before
+#: anyone reads logs.  The ``hyg-broad-except`` rule in
+#: :mod:`repro.analysis` enforces that any broad handler feeds this.
+CAUGHT = METRICS.counter(
+    "repro_caught_exceptions_total",
+    "Exceptions caught by last-resort handlers, by site",
+    labels=("site",),
+)
+
 
 @contextmanager
 def span(stage: str, registry: MetricsRegistry | None = None):
@@ -170,6 +182,7 @@ __all__ = [
     "ROUNDS",
     "MEASURED",
     "LOWERED",
+    "CAUGHT",
     "span",
     "funnel",
     "current_trace",

@@ -63,7 +63,8 @@ class LoweredRowCache:
         self.evictions = 0  # rows dropped by capacity pressure
 
     def __len__(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def clear(self) -> None:
         """Drop every cached row (hit/miss counters survive)."""

@@ -134,7 +134,10 @@ class ServeApp:
         self.metrics.add_collector(self._collect)
         #: last round index noted per lease — heartbeats repeat a round's
         #: progress until the next one lands; only fresh rounds count.
+        #: Guarded by ``_rounds_lock``: heartbeats from different runner
+        #: threads mutate it concurrently with the reaper.
         self._noted_rounds: dict[str, int] = {}
+        self._rounds_lock = threading.Lock()
         self._restore()
         self.routes = [
             route("GET", r"/healthz", self.handle_healthz),
@@ -175,11 +178,12 @@ class ServeApp:
         pending (their runners' leases died with that server).
         """
         self.queue.restore(JobQueue.load_ledger(self._ledger_path()))
-        for _, row in iter_jsonl(self._results_path()):
-            if row is None or not isinstance(row.get("job_id"), str):
-                continue
-            if isinstance(row.get("result"), dict):
-                self._results[row["job_id"]] = row["result"]
+        with self._results_lock:
+            for _, row in iter_jsonl(self._results_path()):
+                if row is None or not isinstance(row.get("job_id"), str):
+                    continue
+                if isinstance(row.get("result"), dict):
+                    self._results[row["job_id"]] = row["result"]
 
     def _save_ledger(self) -> None:
         self.service.store.root.mkdir(parents=True, exist_ok=True)
@@ -277,7 +281,8 @@ class ServeApp:
         expired = self.leases.expired()
         for lease in expired:
             self.queue.release(lease.job_id)
-            self._noted_rounds.pop(lease.lease_id, None)
+            with self._rounds_lock:
+                self._noted_rounds.pop(lease.lease_id, None)
         if expired:
             self._save_ledger()
 
@@ -318,9 +323,12 @@ class ServeApp:
         round_index = progress.get("round")
         if not isinstance(round_index, int):
             return
-        if self._noted_rounds.get(lease.lease_id) == round_index:
-            return
-        self._noted_rounds[lease.lease_id] = round_index
+        # check-and-set under the lock; the metric/trace writes stay
+        # outside it (they have their own locking)
+        with self._rounds_lock:
+            if self._noted_rounds.get(lease.lease_id) == round_index:
+                return
+            self._noted_rounds[lease.lease_id] = round_index
         self._runner_rounds.labels(runner=lease.runner_id).inc()
         stages = progress.get("stages")
         if isinstance(stages, dict):
@@ -489,7 +497,8 @@ class ServeApp:
         try:
             if drop:
                 lease = self.leases.release(lease_id, runner_id)
-                self._noted_rounds.pop(lease_id, None)
+                with self._rounds_lock:
+                    self._noted_rounds.pop(lease_id, None)
                 return lease
             return self.leases.heartbeat(lease_id, runner_id)
         except KeyError:

@@ -19,6 +19,8 @@ import urllib.parse
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import CAUGHT
+
 #: Request body size cap (covers record uploads from a runner fleet;
 #: anything bigger is a client bug, not tuning data).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -156,6 +158,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         except BrokenPipeError:
             pass  # client went away mid-response; nothing to tell it
         except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the server
+            CAUGHT.labels(site="serve.http").inc()
             self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
             if route_label is not None:
                 self._observe(method, route_label, 500, t0)

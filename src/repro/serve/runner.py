@@ -27,6 +27,7 @@ import threading
 
 from repro import api
 from repro.cache import bound_cache, clear_caches
+from repro.obs import CAUGHT
 from repro.errors import SearchError
 from repro.hardware.device import get_device
 from repro.search.tuner import TuneResult
@@ -193,6 +194,7 @@ class TuningRunner:
                 ship_checkpoint=ship_checkpoint,
             )
         except Exception as exc:  # noqa: BLE001 — report, don't die
+            CAUGHT.labels(site="serve.runner").inc()
             beat_stop.set()
             keeper.join(timeout=ttl)
             return self._deliver_failure(lease_id, job, exc)

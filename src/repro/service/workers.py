@@ -17,6 +17,7 @@ import threading
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs import CAUGHT
 from repro.service.jobs import JobQueue, TuneJob
 
 
@@ -50,6 +51,7 @@ class WorkerPool:
                 try:
                     out = runner(job)
                 except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+                    CAUGHT.labels(site="service.workers").inc()
                     queue.mark_failed(job.job_id, f"{type(exc).__name__}: {exc}")
                 else:
                     with lock:

@@ -1,0 +1,6 @@
+"""Known-bad fixture package for repro.analysis rule tests.
+
+Every module here violates exactly the rules its golden JSON (under
+``tests/fixtures/analysis/golden/``) records.  These files are scanned
+by the analyzer in tests but never imported by product code.
+"""

@@ -1,0 +1,26 @@
+"""Fixture: two module locks reachable in opposite orders."""
+
+import threading
+
+_LOCK_A = threading.Lock()
+_LOCK_B = threading.Lock()
+
+
+def take_a() -> int:
+    with _LOCK_A:
+        return 1
+
+
+def take_b() -> int:
+    with _LOCK_B:
+        return 2
+
+
+def a_then_b() -> int:
+    with _LOCK_A:
+        return take_b()
+
+
+def b_then_a() -> int:
+    with _LOCK_B:
+        return take_a()

@@ -1,0 +1,15 @@
+"""Fixture: scalar wrapper that re-implements its batch twin."""
+
+
+class Runner:
+    """Declared in the fixture manifest: ``run`` must delegate to
+    ``run_batch``."""
+
+    def run_batch(self, items: list[int]) -> list[int]:
+        return [item * 2 for item in items]
+
+    def run(self, item: int) -> int:
+        out = []
+        for value in (item,):
+            out.append(value * 2)
+        return out[0]

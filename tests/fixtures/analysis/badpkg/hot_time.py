@@ -1,0 +1,12 @@
+"""Fixture: wall clock and unseeded RNG on the deterministic hot path."""
+
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,9 @@
+"""Fixture: broad except swallowing errors without accounting."""
+
+
+def load(path: str) -> str | None:
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except Exception:
+        return None

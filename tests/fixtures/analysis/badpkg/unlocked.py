@@ -1,0 +1,21 @@
+"""Fixture: thread-shared state touched without the declared lock."""
+
+import threading
+
+
+class SharedCounter:
+    """Declared in the fixture manifest: ``_lock`` guards ``total``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self, n: int) -> None:
+        self.total += n
+
+    def read(self) -> int:
+        return self.total
+
+    def bump_safe(self, n: int) -> None:
+        with self._lock:
+            self.total += n
