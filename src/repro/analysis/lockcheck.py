@@ -124,6 +124,23 @@ class _TrackingLock:
     def locked(self) -> bool:
         return self._inner.locked()
 
+    # Condition forwarding: manifest locks may be threading.Condition
+    # objects (e.g. the serve EventBroker).  wait() releases and
+    # re-takes the same underlying lock on the same thread, which adds
+    # no acquisition-order edge — so the recorder's view (held across
+    # the wait) stays sound; only the primitives need passing through.
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._inner.wait(timeout)
+
+    def wait_for(self, predicate, timeout: float | None = None):
+        return self._inner.wait_for(predicate, timeout)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
 
 def _import_path(module_suffix: str) -> str:
     """``repro/obs/registry.py`` -> ``repro.obs.registry``."""

@@ -154,6 +154,24 @@ DEFAULT_MANIFEST = Manifest(
             helpers={"_retire": "_lock", "_live": "_lock"},
         ),
         SharedClass(
+            module="repro/serve/protocol.py",
+            name="RunnerRegistry",
+            node="serve.protocol.RunnerRegistry",
+            locks={"_lock": ("_runners",)},
+        ),
+        SharedClass(
+            module="repro/serve/protocol.py",
+            name="EventBroker",
+            node="serve.protocol.EventBroker",
+            locks={"_cond": ("_events", "_next_seq", "_closed")},
+        ),
+        SharedClass(
+            module="repro/serve/http.py",
+            name="TokenBucketLimiter",
+            node="serve.http.TokenBucketLimiter",
+            locks={"_lock": ("_buckets",)},
+        ),
+        SharedClass(
             module="repro/serve/app.py",
             name="ServeApp",
             node="serve.app.ServeApp",

@@ -14,13 +14,17 @@ Topology::
           v                                   v
     +----------------- server process ------------------+
     |  REST front end        worker protocol            |
-    |  POST /jobs            POST /lease                |
-    |  GET  /jobs/{id}       POST /lease/{id}/heartbeat |
-    |  GET  /jobs/{id}/result POST /lease/{id}/complete |
+    |  POST /jobs            POST /runners/register     |
+    |  GET  /jobs/{id}       POST /lease                |
+    |  GET  .../result       POST /lease/{id}/heartbeat |
+    |  GET  .../events       POST /lease/{id}/complete  |
     |  DELETE /jobs/{id}     POST /lease/{id}/fail      |
-    |  GET  /best, /healthz                             |
-    |        JobQueue  +  RecordStore  +  ledger        |
+    |  GET  /best, /healthz, /runners, /metrics         |
+    |  JobQueue + RecordStore + ledger + RunnerRegistry |
     +---------------------------------------------------+
+
+    (optional on every edge: Authorization: Bearer <token>,
+     per-client token-bucket rate limits)
 
 Design notes
 ------------
@@ -36,7 +40,15 @@ Design notes
   result.
 * **Restart-safe** — submits, claims and finishes all flush the
   ledger; a restarted server requeues what was in flight and still
-  serves past results.
+  serves past results.  Runner registrations ride every lease poll,
+  so a restarted server re-learns its fleet's tags within one poll.
+* **Tag-aware leasing** — a runner registered with capability tags
+  (``device``/``method``/``network``) is only leased matching jobs;
+  anonymous runners stay unconstrained (:class:`RunnerRegistry`).
+* **Progress streams, not busy polls** — ``GET /jobs/{id}/events``
+  long-polls a per-job event stream (:class:`EventBroker`) fed by
+  heartbeat ingestion and every lifecycle transition;
+  :meth:`ServeClient.events` iterates it end to end.
 
 Modules: :mod:`~repro.serve.http` (stdlib JSON routing),
 :mod:`~repro.serve.protocol` (leases + wire forms),
@@ -47,8 +59,15 @@ Modules: :mod:`~repro.serve.http` (stdlib JSON routing),
 
 from repro.serve.app import ServeApp
 from repro.serve.client import JobStatus, ServeClient, ServeError
-from repro.serve.http import make_server
-from repro.serve.protocol import PROTOCOL_VERSION, Lease, LeaseTable
+from repro.serve.http import TokenBucketLimiter, make_server
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    EventBroker,
+    Lease,
+    LeaseTable,
+    RunnerInfo,
+    RunnerRegistry,
+)
 from repro.serve.runner import TuningRunner
 
 __all__ = [
@@ -59,6 +78,10 @@ __all__ = [
     "make_server",
     "Lease",
     "LeaseTable",
+    "EventBroker",
+    "RunnerInfo",
+    "RunnerRegistry",
+    "TokenBucketLimiter",
     "PROTOCOL_VERSION",
     "TuningRunner",
 ]

@@ -16,14 +16,22 @@ POST      ``/jobs``                   submit a tuning job
 GET       ``/jobs``                   list all known jobs
 GET       ``/jobs/{id}``              status + per-round progress
 GET       ``/jobs/{id}/result``       result summary of a finished job
+GET       ``/jobs/{id}/events``       long-poll stream of progress events
 DELETE    ``/jobs/{id}``              cancel (cooperative for running jobs)
 GET       ``/best``                   best persisted schedule of a workload
 GET       ``/healthz``                liveness + queue/lease counters
-POST      ``/lease``                  runner protocol: claim a job
+GET       ``/runners``                registered runners + capability tags
+POST      ``/runners/register``       runner protocol: advertise tags
+POST      ``/lease``                  runner protocol: claim a matching job
 POST      ``/lease/{id}/heartbeat``   runner protocol: keep-alive + progress
 POST      ``/lease/{id}/complete``    runner protocol: deliver results
 POST      ``/lease/{id}/fail``        runner protocol: report an error
 ========  ==========================  =====================================
+
+With ``auth_token`` set, every endpoint requires ``Authorization:
+Bearer <token>``; with a rate limit set, each client address draws from
+a token bucket — both are enforced below the routing layer in
+:mod:`repro.serve.http`.
 """
 
 from __future__ import annotations
@@ -37,10 +45,21 @@ from repro import api, obs
 from repro.errors import ReproError
 from repro.hardware.device import get_device
 from repro.obs import PROM_CONTENT_TYPE, MetricsRegistry
-from repro.serve.http import HttpError, TextResponse, route
+from repro.serve.http import (
+    THROTTLED_HELP,
+    THROTTLED_METRIC,
+    UNAUTHORIZED_HELP,
+    UNAUTHORIZED_METRIC,
+    HttpError,
+    TextResponse,
+    TokenBucketLimiter,
+    route,
+)
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
+    EventBroker,
     LeaseTable,
+    RunnerRegistry,
     wire_float,
 )
 from repro.service.jobs import TERMINAL_STATES, JobQueue, JobState
@@ -56,6 +75,11 @@ from repro.service.store import (
 from repro.workloads import network_tasks
 
 RESULTS_NAME = "results.jsonl"
+
+#: Longest a ``GET /jobs/{id}/events`` long-poll may block server-side.
+#: Clients asking for more get clamped, not refused — the cursor makes
+#: re-polling free.
+MAX_EVENTS_TIMEOUT = 60.0
 
 #: Job-spec fields ``POST /jobs`` accepts (everything else is a 400 —
 #: a misspelled field must not silently become a default).
@@ -87,11 +111,21 @@ class ServeApp:
         Seconds a runner may go silent before its lease expires and
         the job requeues.
     clock:
-        Injectable monotonic clock for the lease table (tests expire
-        leases without sleeping).
+        Injectable monotonic clock for the lease table, runner
+        registry, and rate limiter (tests expire leases and refill
+        buckets without sleeping).
     checkpoints:
         Ship cost-model checkpoints on leases and store the ones
         runners return (on by default).
+    auth_token:
+        Shared secret; when set, every endpoint requires
+        ``Authorization: Bearer <token>`` (enforced in the HTTP layer).
+    rate_limit / rate_burst:
+        Per-client token bucket (requests/sec sustained, burst cap);
+        None disables limiting.
+    max_lease_ttl:
+        Longest TTL a runner may request on a lease (400 above it);
+        defaults to 10x ``lease_ttl``.
     """
 
     def __init__(
@@ -101,16 +135,34 @@ class ServeApp:
         clock=None,
         verbose: bool = False,
         checkpoints: bool = True,
+        auth_token: str | None = None,
+        rate_limit: float | None = None,
+        rate_burst: float = 10.0,
+        max_lease_ttl: float | None = None,
     ) -> None:
         self.verbose = verbose
         self.checkpoints = checkpoints
         self.service = TuningService(cache_dir)
+        tick = clock if clock is not None else time.monotonic
         lease_kwargs = {}
         if lease_ttl is not None:
             lease_kwargs["ttl"] = lease_ttl
         if clock is not None:
             lease_kwargs["clock"] = clock
+        if max_lease_ttl is not None:
+            lease_kwargs["max_ttl"] = max_lease_ttl
         self.leases = LeaseTable(**lease_kwargs)
+        self.registry = RunnerRegistry(clock=tick)
+        # Job progress fanout for /jobs/{id}/events long-polls.  Uses
+        # real wall time for its waits (never the injectable clock): a
+        # frozen fake clock + Condition.wait would spin forever.
+        self.broker = EventBroker()
+        self.auth_token = auth_token or None
+        self.limiter = (
+            TokenBucketLimiter(rate_limit, rate_burst, clock=tick)
+            if rate_limit is not None
+            else None
+        )
         self._results: dict[str, dict] = {}
         self._results_lock = threading.Lock()
         self._store_keys: dict[tuple, StoreKey] = {}
@@ -131,6 +183,11 @@ class ServeApp:
             "Per-stage wall seconds from runner round reports.",
             labels=("runner", "stage"),
         )
+        # Gate rejections are counted by the HTTP layer; pre-registering
+        # the (unlabeled) families here makes a fresh server render them
+        # at 0 instead of omitting them until the first rejection.
+        self.metrics.counter(UNAUTHORIZED_METRIC, UNAUTHORIZED_HELP)
+        self.metrics.counter(THROTTLED_METRIC, THROTTLED_HELP)
         self.metrics.add_collector(self._collect)
         #: last round index noted per lease — heartbeats repeat a round's
         #: progress until the next one lands; only fresh rounds count.
@@ -145,9 +202,12 @@ class ServeApp:
             route("POST", r"/jobs/?", self.handle_submit),
             route("GET", r"/jobs/?", self.handle_list_jobs),
             route("GET", r"/jobs/(?P<job_id>[^/]+)/result", self.handle_result),
+            route("GET", r"/jobs/(?P<job_id>[^/]+)/events", self.handle_events),
             route("GET", r"/jobs/(?P<job_id>[^/]+)", self.handle_status),
             route("DELETE", r"/jobs/(?P<job_id>[^/]+)", self.handle_cancel),
             route("GET", r"/best", self.handle_best),
+            route("POST", r"/runners/register", self.handle_register),
+            route("GET", r"/runners/?", self.handle_runners),
             route("POST", r"/lease", self.handle_lease),
             route(
                 "POST", r"/lease/(?P<lease_id>[^/]+)/heartbeat", self.handle_heartbeat
@@ -220,6 +280,7 @@ class ServeApp:
         for lease in self.leases.drain():
             self.queue.release(lease.job_id)
         self._save_ledger()
+        self.broker.close()  # wake in-flight event long-polls
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -229,6 +290,19 @@ class ServeApp:
             return self.queue.get(job_id)
         except KeyError:
             raise HttpError(404, f"unknown job id {job_id!r}") from None
+
+    @staticmethod
+    def _require_runner_id(body: dict) -> str:
+        """The request's runner identity, validated as a non-empty string.
+
+        Every runner-protocol handler goes through here: a missing
+        runner_id must be a 400, not a default ``""`` that flows into
+        the lease-ownership check and surfaces as a baffling 409.
+        """
+        runner_id = body.get("runner_id")
+        if not isinstance(runner_id, str) or not runner_id:
+            raise HttpError(400, "request needs a non-empty 'runner_id' string")
+        return runner_id
 
     def _job_payload(self, job) -> dict:
         return {
@@ -283,6 +357,19 @@ class ServeApp:
             self.queue.release(lease.job_id)
             with self._rounds_lock:
                 self._noted_rounds.pop(lease.lease_id, None)
+            try:
+                state = self.queue.get(lease.job_id).state.value
+            except KeyError:
+                state = JobState.PENDING.value
+            self.broker.publish(
+                lease.job_id,
+                {
+                    "type": "requeued",
+                    "state": state,
+                    "reason": "lease-expired",
+                    "runner": lease.runner_id,
+                },
+            )
         if expired:
             self._save_ledger()
 
@@ -303,6 +390,10 @@ class ServeApp:
         registry.gauge(
             "repro_leases_active", "Leases currently held by runners."
         ).set(self.leases.active())
+        registry.gauge(
+            "repro_runners_registered",
+            "Runners that have registered capability tags.",
+        ).set(self.registry.count())
         registry.gauge(
             "repro_lease_age_seconds_max",
             "Age of the oldest active lease (seconds since last beat).",
@@ -339,6 +430,16 @@ class ServeApp:
                     ).observe(float(seconds))
         self.service.traces.write(
             lease.job_id, {"job_id": lease.job_id, "runner": lease.runner_id, **progress}
+        )
+        self.broker.publish(
+            lease.job_id,
+            {
+                "type": "round",
+                "state": JobState.RUNNING.value,
+                "runner": lease.runner_id,
+                "round": round_index,
+                "progress": progress,
+            },
         )
 
     # ------------------------------------------------------------------
@@ -383,12 +484,19 @@ class ServeApp:
         except (TypeError, ValueError) as exc:
             raise HttpError(400, f"bad job spec: {exc}") from None
         self._save_ledger()  # a submitted job must survive a crash
+        self.broker.publish(
+            job_id, {"type": "submitted", "state": JobState.PENDING.value}
+        )
         return 201, {"job_id": job_id, "state": JobState.PENDING.value}
 
     def handle_list_jobs(self, match, query, body):
+        # reap first: a pure status poller must see a dead runner's job
+        # requeue, not `running` forever on an otherwise idle server
+        self._reap_expired()
         return 200, {"jobs": [self._job_payload(j) for j in self.queue.jobs()]}
 
     def handle_status(self, match, query, body):
+        self._reap_expired()  # same visibility contract as the probes
         job = self._job_or_404(match.group("job_id"))
         return 200, self._job_payload(job)
 
@@ -410,6 +518,17 @@ class ServeApp:
         self._job_or_404(job_id)
         state = self.queue.cancel(job_id)
         self._save_ledger()
+        self.broker.publish(
+            job_id,
+            {
+                "type": (
+                    "cancel-requested"
+                    if state is JobState.RUNNING
+                    else "cancelled"
+                ),
+                "state": state.value,
+            },
+        )
         return 200, {
             "job_id": job_id,
             "state": state.value,
@@ -438,13 +557,60 @@ class ServeApp:
         summary["tuned_latency"] = wire_float(summary["tuned_latency"])
         return 200, summary
 
+    def handle_events(self, match, query, body):
+        """Long-poll one job's progress stream.
+
+        ``after`` is the client's cursor (last seen sequence number,
+        0 for the start); ``timeout`` is how long to block waiting for
+        something newer (clamped to :data:`MAX_EVENTS_TIMEOUT`, forced
+        to 0 once the job is terminal — its history is complete).
+        """
+        self._reap_expired()  # an expired lease becomes a visible event
+        job_id = match.group("job_id")
+        job = self._job_or_404(job_id)
+        try:
+            after = int(query.get("after", 0))
+            timeout = float(query.get("timeout", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad events query: {exc}") from None
+        if after < 0:
+            raise HttpError(400, f"'after' must be >= 0, got {after}")
+        if timeout < 0:
+            raise HttpError(400, f"'timeout' must be >= 0, got {timeout}")
+        timeout = min(timeout, MAX_EVENTS_TIMEOUT)
+        if job.state in TERMINAL_STATES:
+            timeout = 0.0
+        events = self.broker.wait_for(job_id, after=after, timeout=timeout)
+        job = self._job_or_404(job_id)  # state may have advanced while blocked
+        return 200, {
+            "job_id": job_id,
+            "state": job.state.value,
+            "terminal": job.state in TERMINAL_STATES,
+            "events": events,
+            "next": events[-1]["seq"] if events else after,
+        }
+
     # ------------------------------------------------------------------
     # runner-protocol handlers
     # ------------------------------------------------------------------
+    def handle_register(self, match, query, body):
+        runner_id = self._require_runner_id(body)
+        try:
+            info = self.registry.register(runner_id, body.get("tags"))
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        return 201, {
+            "protocol": PROTOCOL_VERSION,
+            "runner_id": info.runner_id,
+            "tags": {key: list(values) for key, values in info.tags.items()},
+        }
+
+    def handle_runners(self, match, query, body):
+        self._reap_expired()
+        return 200, {"runners": self.registry.wire_snapshot()}
+
     def handle_lease(self, match, query, body):
-        runner_id = body.get("runner_id")
-        if not isinstance(runner_id, str) or not runner_id:
-            raise HttpError(400, "lease needs a 'runner_id' string")
+        runner_id = self._require_runner_id(body)
         ttl = body.get("ttl")
         if ttl is not None:
             # validate before claiming: a grant() failure after claim()
@@ -455,16 +621,40 @@ class ServeApp:
                 raise HttpError(400, f"bad lease ttl {ttl!r}") from None
             if ttl <= 0:
                 raise HttpError(400, f"lease ttl must be > 0, got {ttl}")
+            if ttl > self.leases.max_ttl:
+                raise HttpError(
+                    400,
+                    f"lease ttl {ttl} exceeds server max {self.leases.max_ttl}",
+                )
+        # registration rides the lease poll: a restarted server re-learns
+        # its fleet's tags within one poll interval
+        if "tags" in body:
+            try:
+                self.registry.register(runner_id, body.get("tags"))
+            except ValueError as exc:
+                raise HttpError(400, str(exc)) from None
+        else:
+            self.registry.touch(runner_id)
         self._reap_expired()
-        job = self.queue.claim(runner_id=runner_id)
+        job = self.queue.claim(
+            runner_id=runner_id, predicate=self.registry.predicate_for(runner_id)
+        )
         if job is None:
-            return 204, None  # nothing to do; poll again later
+            return 204, None  # nothing matching to do; poll again later
         try:
             lease = self.leases.grant(job.job_id, runner_id, ttl=ttl)
         except ValueError:
             self.queue.release(job.job_id)  # never strand a claimed job
             raise
         self._save_ledger()  # the claim (running + runner id) survives a crash
+        self.broker.publish(
+            job.job_id,
+            {
+                "type": "leased",
+                "state": JobState.RUNNING.value,
+                "runner": runner_id,
+            },
+        )
         key = self._store_key_for(job)
         seed_rows = self.service.store.load_rows(key) if key is not None else []
         return 200, {
@@ -509,7 +699,7 @@ class ServeApp:
             raise HttpError(409, str(exc)) from None
 
     def handle_heartbeat(self, match, query, body):
-        runner_id = body.get("runner_id", "")
+        runner_id = self._require_runner_id(body)
         lease = self._lease_or_410(match.group("lease_id"), runner_id)
         progress = body.get("progress")
         if isinstance(progress, dict):
@@ -522,7 +712,7 @@ class ServeApp:
         }
 
     def handle_complete(self, match, query, body):
-        runner_id = body.get("runner_id", "")
+        runner_id = self._require_runner_id(body)
         records = body.get("records") or []
         if not isinstance(records, list):
             raise HttpError(400, "'records' must be a list of record rows")
@@ -555,6 +745,10 @@ class ServeApp:
         self.queue.mark_done(lease.job_id)
         self._save_ledger()
         job = self.queue.get(lease.job_id)
+        self.broker.publish(
+            lease.job_id,
+            {"type": "done", "state": job.state.value, "runner": runner_id},
+        )
         return 200, {
             "job_id": lease.job_id,
             "state": job.state.value,
@@ -563,12 +757,23 @@ class ServeApp:
         }
 
     def handle_fail(self, match, query, body):
-        runner_id = body.get("runner_id", "")
+        runner_id = self._require_runner_id(body)
         lease = self._lease_or_410(match.group("lease_id"), runner_id, drop=True)
         error = str(body.get("error") or "runner reported failure")
         self.queue.mark_failed(lease.job_id, error)
         self._save_ledger()
         job = self.queue.get(lease.job_id)
+        # mark_failed may have requeued for a retry — publish the state
+        # it actually landed in, so pollers see pending vs failed
+        self.broker.publish(
+            lease.job_id,
+            {
+                "type": "failed",
+                "state": job.state.value,
+                "runner": runner_id,
+                "error": error,
+            },
+        )
         return 200, {"job_id": lease.job_id, "state": job.state.value}
 
     def _ingest_rows(self, job_id: str | None, records: list) -> int:

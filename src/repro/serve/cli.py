@@ -40,6 +40,29 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _parse_tags(specs: list[str] | None) -> dict | None:
+    """``--tags device=a100,network=bert_tiny`` (repeatable) -> tag dict.
+
+    A key given more than once accumulates values: ``--tags
+    device=a100 --tags device=t4`` advertises both devices.
+    """
+    if not specs:
+        return None
+    tags: dict[str, list[str]] = {}
+    for spec in specs:
+        for pair in spec.split(","):
+            key, sep, value = pair.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not key or not value:
+                raise ReproError(
+                    f"bad --tags entry {pair!r}: expected key=value"
+                )
+            tags.setdefault(key, [])
+            if value not in tags[key]:
+                tags[key].append(value)
+    return tags
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.serve",
@@ -62,6 +85,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-checkpoints",
         action="store_true",
         help="do not ship or store cost-model checkpoints on the lease wire",
+    )
+    server.add_argument(
+        "--auth-token",
+        default=None,
+        help="require 'Authorization: Bearer <token>' on every endpoint",
+    )
+    server.add_argument(
+        "--rate-limit",
+        type=_positive_float,
+        default=None,
+        help="per-client sustained requests/sec (default: unlimited)",
+    )
+    server.add_argument(
+        "--rate-burst",
+        type=_positive_float,
+        default=10.0,
+        help="per-client burst allowance above --rate-limit (default 10)",
+    )
+    server.add_argument(
+        "--max-lease-ttl",
+        type=_positive_float,
+        default=None,
+        help="longest lease TTL a runner may request (default 10x --lease-ttl)",
     )
 
     runner = sub.add_parser("runner", help="run a measurement runner")
@@ -92,6 +138,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit as soon as the queue is empty (CI / batch drains)",
     )
+    runner.add_argument(
+        "--tags",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE[,KEY=VALUE...]",
+        help=(
+            "capability tags to advertise (repeatable); device/method/"
+            "network tags constrain which jobs this runner is leased"
+        ),
+    )
+    runner.add_argument(
+        "--auth-token",
+        default=None,
+        help="bearer token for a server started with --auth-token",
+    )
     return parser
 
 
@@ -110,6 +171,10 @@ def _cmd_server(args: argparse.Namespace, out) -> int:
         lease_ttl=args.lease_ttl,
         verbose=args.verbose,
         checkpoints=not args.no_checkpoints,
+        auth_token=args.auth_token,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_lease_ttl=args.max_lease_ttl,
     )
     server = make_server(app, args.host, args.port)
     host, port = server.server_address[:2]
@@ -150,6 +215,8 @@ def _cmd_runner(args: argparse.Namespace, out) -> int:
         lease_ttl=args.lease_ttl,
         log=out,
         memo_rows=args.memo_rows,
+        tags=_parse_tags(args.tags),
+        auth_token=args.auth_token,
     )
     _install_stop_handlers(runner.stop)
     completed = runner.run_forever(

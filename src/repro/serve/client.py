@@ -2,15 +2,19 @@
 
     from repro.serve.client import ServeClient
 
-    client = ServeClient("http://127.0.0.1:8537")
+    client = ServeClient("http://127.0.0.1:8537", auth_token="s3cret")
     job_id = client.submit("bert_tiny", device="a100", rounds=8)
+    for event in client.events(job_id):            # long-poll stream
+        print(event["type"], event.get("round"))
     status = client.wait(job_id, timeout=120)      # JobStatus dataclass
     summary = client.result(job_id)                # result summary dict
     best = client.best("bert_tiny", device="a100")
 
 The same class is the runner side of the worker protocol
-(:meth:`lease` / :meth:`heartbeat` / :meth:`complete` / :meth:`fail`) —
-one wire client, two audiences.  Server-reported errors raise
+(:meth:`register` / :meth:`lease` / :meth:`heartbeat` /
+:meth:`complete` / :meth:`fail`) — one wire client, two audiences.
+``auth_token`` (when the server requires one) rides every request as
+``Authorization: Bearer``.  Server-reported errors raise
 :class:`ServeError` carrying the HTTP status; transport failures raise
 the underlying ``OSError``.
 """
@@ -75,9 +79,15 @@ class JobStatus:
 class ServeClient:
     """HTTP client for :mod:`repro.serve.app`'s endpoints."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        auth_token: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.auth_token = auth_token or None
 
     # ------------------------------------------------------------------
     def _request(
@@ -86,20 +96,22 @@ class ServeClient:
         path: str,
         body: dict | None = None,
         query: dict | None = None,
+        timeout: float | None = None,
     ) -> tuple[int, dict | None]:
         url = self.base_url + path
         if query:
             pairs = {k: str(v) for k, v in query.items() if v is not None}
             url += "?" + urllib.parse.urlencode(pairs)
         data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if data else {}
+        if self.auth_token:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
         request = urllib.request.Request(
-            url,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            url, data=data, method=method, headers=headers
         )
+        timeout = self.timeout if timeout is None else timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 raw = response.read()
                 status = response.status
         except urllib.error.HTTPError as exc:
@@ -183,6 +195,44 @@ class ServeClient:
         )
         return payload
 
+    def events(
+        self, job_id: str, after: int = 0, poll_timeout: float = 30.0
+    ):
+        """Yield a job's progress events as they happen (long-poll loop).
+
+        Each event is a dict with a monotonically increasing ``seq``, a
+        ``type`` (submitted/leased/round/requeued/cancelled/done/failed)
+        and a ``state``.  Iteration ends once the job is terminal and
+        its history is drained — so ``for event in client.events(id)``
+        follows a job from submission to the end without busy-polling.
+        ``after`` resumes from a previous cursor (last seen ``seq``).
+        """
+        cursor = int(after)
+        while True:
+            _, payload = self._request(
+                "GET",
+                f"/jobs/{job_id}/events",
+                query={"after": cursor, "timeout": poll_timeout},
+                # the server may hold the poll for poll_timeout before
+                # answering; the transport deadline must outlast it
+                timeout=self.timeout + poll_timeout,
+            )
+            payload = payload or {}
+            batch = payload.get("events") or []
+            yield from batch
+            cursor = int(payload.get("next", cursor))
+            # terminal + empty batch = history fully drained.  With a
+            # non-empty batch, poll once more: the terminal event may
+            # have been published an instant after this response's
+            # state was read.
+            if payload.get("terminal") and not batch:
+                return
+
+    def runners(self) -> list[dict]:
+        """Registered runners and their capability tags (``GET /runners``)."""
+        _, payload = self._request("GET", "/runners")
+        return (payload or {}).get("runners", [])
+
     def wait(
         self, job_id: str, timeout: float = 300.0, poll: float = 0.2
     ) -> JobStatus:
@@ -201,11 +251,34 @@ class ServeClient:
     # ------------------------------------------------------------------
     # worker protocol (used by repro.serve.runner)
     # ------------------------------------------------------------------
-    def lease(self, runner_id: str, ttl: float | None = None) -> dict | None:
-        """Claim a job; None when the queue has nothing (HTTP 204)."""
-        status, payload = self._request(
-            "POST", "/lease", body={"runner_id": runner_id, "ttl": ttl}
+    def register(self, runner_id: str, tags: dict | None = None) -> dict:
+        """Advertise a runner and its capability tags to the server.
+
+        Tags on the matching keys (device/method/network) constrain
+        which jobs the server will lease to this runner.
+        """
+        _, payload = self._request(
+            "POST",
+            "/runners/register",
+            body={"runner_id": runner_id, "tags": tags or {}},
         )
+        return payload or {}
+
+    def lease(
+        self,
+        runner_id: str,
+        ttl: float | None = None,
+        tags: dict | None = None,
+    ) -> dict | None:
+        """Claim a tag-compatible job; None when nothing matches (204).
+
+        ``tags`` (when given) re-registers the runner on every poll, so
+        a restarted server re-learns the fleet without runner restarts.
+        """
+        body = {"runner_id": runner_id, "ttl": ttl}
+        if tags is not None:
+            body["tags"] = tags
+        status, payload = self._request("POST", "/lease", body=body)
         if status == 204 or payload is None:
             return None
         return payload

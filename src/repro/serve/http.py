@@ -8,14 +8,29 @@ handler takes ``(match, query, body)`` and returns ``(status, payload)``
 :func:`make_server` binds an app to a :class:`ThreadingHTTPServer`, so
 each request runs on its own thread — the app owns all shared state and
 its locking.
+
+Two optional app attributes gate every request before routing:
+
+* ``auth_token`` — a shared secret; when set, requests must carry
+  ``Authorization: Bearer <token>`` (constant-time compare) or they
+  are rejected with 401.
+* ``limiter`` — a :class:`TokenBucketLimiter`; when set, each client
+  address draws one token per request and dry buckets get 429.
+
+Rejections increment ``repro_http_unauthorized_total`` /
+``repro_http_throttled_total`` in the app's metrics registry and never
+reach a handler (or mint per-route metric labels).
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import re
+import threading
 import time
 import urllib.parse
+from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -24,6 +39,53 @@ from repro.obs import CAUGHT
 #: Request body size cap (covers record uploads from a runner fleet;
 #: anything bigger is a client bug, not tuning data).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Metric families for gate rejections (shared with repro.serve.app,
+#: which pre-registers them so they render at 0 on an untouched server).
+UNAUTHORIZED_METRIC = "repro_http_unauthorized_total"
+UNAUTHORIZED_HELP = "Requests rejected for a missing or bad bearer token."
+THROTTLED_METRIC = "repro_http_throttled_total"
+THROTTLED_HELP = "Requests rejected by the per-client rate limit."
+
+
+class TokenBucketLimiter:
+    """Per-client token buckets: ``rate`` tokens/sec refill, ``burst`` cap.
+
+    Thread-safe and bounded: the client map is LRU-evicted past
+    :attr:`CLIENT_CAP`, so an address-churning flood cannot grow the
+    server.  ``clock`` is injectable (monotonic seconds) so tests can
+    refill buckets without sleeping.
+    """
+
+    CLIENT_CAP = 4096
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        rate = float(rate)
+        burst = float(burst)
+        if rate <= 0:
+            raise ValueError(f"rate limit must be > 0 requests/sec, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must allow at least 1 request, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+
+    def allow(self, key: str, cost: float = 1.0) -> bool:
+        """Draw ``cost`` tokens from ``key``'s bucket; False when dry."""
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(key, (self.burst, now))
+            tokens = min(self.burst, tokens + max(0.0, now - stamp) * self.rate)
+            allowed = tokens >= cost
+            if allowed:
+                tokens -= cost
+            self._buckets[key] = (tokens, now)
+            self._buckets.move_to_end(key)
+            while len(self._buckets) > self.CLIENT_CAP:
+                self._buckets.popitem(last=False)
+        return allowed
 
 
 class HttpError(Exception):
@@ -90,6 +152,37 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
             raise HttpError(400, "request body must be a JSON object")
         return body
 
+    def _count_rejection(self, name: str, help_text: str) -> None:
+        metrics = getattr(self.app, "metrics", None)
+        if metrics is None:
+            return
+        try:
+            metrics.counter(name, help_text).inc()
+        except ValueError:
+            pass  # a conflicting app-owned family must not break serving
+
+    def _check_access(self) -> None:
+        """Gate the request: 401 without the bearer token, 429 when the
+        client's token bucket is dry.  Runs after the body read (an
+        unread body would desync the keep-alive connection) and before
+        routing, so rejected requests never mint per-route labels.
+        """
+        token = getattr(self.app, "auth_token", None)
+        if token:
+            header = self.headers.get("Authorization") or ""
+            scheme, _, presented = header.partition(" ")
+            if scheme.lower() != "bearer" or not hmac.compare_digest(
+                presented.strip().encode("utf-8"), token.encode("utf-8")
+            ):
+                self._count_rejection(UNAUTHORIZED_METRIC, UNAUTHORIZED_HELP)
+                raise HttpError(401, "missing or invalid bearer token")
+        limiter = getattr(self.app, "limiter", None)
+        if limiter is not None:
+            client = self.client_address[0] if self.client_address else "?"
+            if not limiter.allow(client):
+                self._count_rejection(THROTTLED_METRIC, THROTTLED_HELP)
+                raise HttpError(429, "rate limit exceeded; retry later")
+
     def _respond(self, status: int, payload: dict | TextResponse | None) -> None:
         if isinstance(payload, TextResponse):
             data = payload.body.encode("utf-8")
@@ -139,6 +232,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
                 for key, values in urllib.parse.parse_qs(raw_query).items()
             }
             body = self._read_body()
+            self._check_access()
             for verb, pattern, handler in self.app.routes:
                 if verb != method:
                     continue

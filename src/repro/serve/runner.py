@@ -63,6 +63,13 @@ class TuningRunner:
         Seconds to sleep between empty lease polls.
     lease_ttl:
         Requested lease duration; None takes the server's default.
+    tags:
+        Capability tags (``{key: value-or-values}``) advertised at
+        startup and on every lease poll; the matching keys
+        (device/method/network) constrain which jobs the server leases
+        to this runner.  None keeps the runner anonymous/unconstrained.
+    auth_token:
+        Bearer token for a server started with ``--auth-token``.
     memo_rows:
         Row budget for the persistent lowering memo
         (``schedule.memo.LOWERED_ROWS``) while a job runs; None keeps
@@ -79,16 +86,19 @@ class TuningRunner:
         client: ServeClient | None = None,
         log=None,
         memo_rows: int | None = None,
+        tags: dict | None = None,
+        auth_token: str | None = None,
     ) -> None:
         if memo_rows is not None:
             try:
                 bound_cache("schedule.memo.LOWERED_ROWS", memo_rows)
             except KeyError as exc:
                 raise SearchError(str(exc)) from None
-        self.client = client or ServeClient(server_url)
+        self.client = client or ServeClient(server_url, auth_token=auth_token)
         self.runner_id = runner_id or default_runner_id()
         self.poll = poll
         self.lease_ttl = lease_ttl
+        self.tags = tags or None
         self._stop = threading.Event()
         self._log = log if log is not None else sys.stderr
 
@@ -109,10 +119,13 @@ class TuningRunner:
         ``idle_exit`` exits as soon as a lease poll comes back empty
         (CI and tests: drain the queue, then leave).
         """
+        self._register()
         completed = 0
         while not self._stop.is_set():
             try:
-                leased = self.client.lease(self.runner_id, ttl=self.lease_ttl)
+                leased = self.client.lease(
+                    self.runner_id, ttl=self.lease_ttl, tags=self.tags
+                )
             except (ServeError, OSError) as exc:
                 self._say(f"lease poll failed: {exc}")
                 if idle_exit:
@@ -129,6 +142,29 @@ class TuningRunner:
             if max_jobs is not None and completed >= max_jobs:
                 break
         return completed
+
+    def _register(self) -> None:
+        """Advertise identity + tags before the first lease poll.
+
+        A server-side rejection (bad tags, bad token) is fatal — the
+        runner is misconfigured and every poll would fail the same way.
+        A transport failure is not: the server may simply not be up
+        yet, and registration rides every lease poll anyway.
+        """
+        if not self.tags:
+            return
+        try:
+            self.client.register(self.runner_id, self.tags)
+            self._say(f"registered with tags {self.tags}")
+        except ServeError as exc:
+            raise SearchError(
+                f"runner registration rejected: {exc}"
+            ) from exc
+        except OSError as exc:
+            self._say(
+                f"registration deferred (server unreachable: {exc});"
+                " will retry on lease polls"
+            )
 
     # ------------------------------------------------------------------
     def _run_leased(self, leased: dict) -> bool:

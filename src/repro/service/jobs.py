@@ -204,25 +204,41 @@ class JobQueue:
             self._heap, _QueueEntry((-job.priority, job.submit_seq), job.job_id)
         )
 
-    def claim(self, runner_id: str | None = None) -> TuneJob | None:
-        """Pop the highest-priority pending job and mark it running.
+    def claim(
+        self, runner_id: str | None = None, predicate=None
+    ) -> TuneJob | None:
+        """Pop the highest-priority *matching* pending job; mark it running.
 
-        Returns None when no job is claimable or the queue was closed
-        for draining (see :meth:`close`).
+        ``predicate`` (job -> bool, e.g. a runner's capability-tag
+        filter) narrows what this caller may claim; skipped jobs keep
+        their place in the schedule and stay claimable by anyone else.
+        It is called while the queue lock is held, so it must not
+        acquire locks of its own.  Returns None when nothing matches or
+        the queue was closed for draining (see :meth:`close`).
         """
         with self._lock:
             if self._closed:
                 return None
+            skipped: list[TuneJob] = []
+            claimed: TuneJob | None = None
             while self._heap:
                 entry = heapq.heappop(self._heap)
                 job = self._jobs.get(entry.job_id)
                 if job is None or job.state is not JobState.PENDING:
                     continue  # stale heap entry (job was requeued/finished)
+                if predicate is not None and not predicate(job):
+                    skipped.append(job)  # not this runner's work
+                    continue
                 job.state = JobState.RUNNING
                 job.attempts += 1
                 job.runner_id = runner_id
-                return job
-            return None
+                claimed = job
+                break
+            # re-push what this caller could not take: submit_seq is
+            # preserved, so the schedule other runners see is unchanged
+            for job in skipped:
+                self._push(job)
+            return claimed
 
     def mark_done(self, job_id: str) -> None:
         """Finish a running job: done, or cancelled if a cancel raced it.

@@ -52,7 +52,9 @@ class Stack:
         self.app = ServeApp(cache_dir, **app_kwargs)
         self.server = make_server(self.app, "127.0.0.1", 0)
         self.url = f"http://127.0.0.1:{self.server.server_address[1]}"
-        self.client = ServeClient(self.url, timeout=10.0)
+        self.client = ServeClient(
+            self.url, timeout=10.0, auth_token=app_kwargs.get("auth_token")
+        )
         self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
         self.thread.start()
 
@@ -384,6 +386,92 @@ class TestEndToEnd:
             stack.close()
 
 
+class TestServeBugfixRegressions:
+    """Regressions for the serve-layer fixes: status reads reap, lease
+    TTLs are capped, and runner-protocol calls validate runner_id."""
+
+    def test_pure_status_poll_sees_expired_lease(self, tmp_path):
+        """GET /jobs/{id} alone (no probe traffic) must notice a dead
+        runner — previously the job showed `running` forever until
+        something happened to hit /healthz or /lease."""
+        clock = FakeClock()
+        stack = Stack(tmp_path / "cache", lease_ttl=30.0, clock=clock)
+        try:
+            client = stack.client
+            job_id = client.submit("bert_tiny", **SPEC)
+            client.lease("doomed-runner")
+            assert client.status(job_id).state is JobState.RUNNING
+            clock.advance(31.0)  # runner dies; nothing touches the probes
+            assert client.status(job_id).state is JobState.PENDING
+        finally:
+            stack.close()
+
+    def test_pure_jobs_list_sees_expired_lease(self, tmp_path):
+        clock = FakeClock()
+        stack = Stack(tmp_path / "cache", lease_ttl=30.0, clock=clock)
+        try:
+            client = stack.client
+            client.submit("bert_tiny", **SPEC)
+            client.lease("doomed-runner")
+            clock.advance(31.0)
+            (job,) = client.jobs()
+            assert job.state is JobState.PENDING
+        finally:
+            stack.close()
+
+    def test_oversized_ttl_rejected_at_default_cap(self, stack):
+        """ttl=1e12 must not strand a claimed job un-reapable: 400, and
+        the job was never claimed."""
+        client = stack.client
+        job_id = client.submit("bert_tiny", **SPEC)
+        with pytest.raises(ServeError) as excinfo:
+            client.lease("greedy-runner", ttl=1e12)
+        assert excinfo.value.status == 400
+        assert client.status(job_id).state is JobState.PENDING
+        # the default cap is 10x the server's lease TTL (30 -> 300)
+        with pytest.raises(ServeError) as excinfo:
+            client.lease("greedy-runner", ttl=300.5)
+        assert excinfo.value.status == 400
+        leased = client.lease("greedy-runner", ttl=300.0)
+        assert leased is not None and leased["ttl"] == 300.0
+
+    def test_custom_max_lease_ttl(self, tmp_path):
+        stack = Stack(tmp_path / "cache", lease_ttl=30.0, max_lease_ttl=60.0)
+        try:
+            client = stack.client
+            client.submit("bert_tiny", **SPEC)
+            with pytest.raises(ServeError) as excinfo:
+                client.lease("r1", ttl=61.0)
+            assert excinfo.value.status == 400
+            leased = client.lease("r1", ttl=60.0)
+            assert leased is not None and leased["ttl"] == 60.0
+        finally:
+            stack.close()
+
+    def test_missing_runner_id_is_400_not_409(self, stack):
+        """A body without a runner_id (or with a junk one) used to flow
+        as "" into the ownership check and surface as a misleading 409
+        conflict; it must be a 400 validation error on every
+        runner-protocol endpoint — and must not disturb the lease."""
+        client = stack.client
+        client.submit("bert_tiny", **SPEC)
+        leased = client.lease("real-runner")
+        lease_id = leased["lease_id"]
+        for suffix in ("heartbeat", "complete", "fail"):
+            for body in ({}, {"runner_id": ""}, {"runner_id": 7}):
+                with pytest.raises(ServeError) as excinfo:
+                    client._request(
+                        "POST", f"/lease/{lease_id}/{suffix}", body=body
+                    )
+                assert excinfo.value.status == 400, (suffix, body)
+        with pytest.raises(ServeError) as excinfo:
+            client._request("POST", "/lease", body={})
+        assert excinfo.value.status == 400
+        # the rejected calls neither dropped nor stole the lease
+        beat = client.heartbeat(lease_id, "real-runner")
+        assert beat["job_id"] == leased["job"]["job_id"]
+
+
 class TestLeaseExpiry:
     def test_dead_runner_requeues_and_another_finishes(self, tmp_path):
         """Acceptance: killing a runner mid-lease requeues the job and a
@@ -506,6 +594,19 @@ class TestLeaseTable:
     def test_rejects_bad_ttl(self):
         with pytest.raises(ValueError):
             LeaseTable(ttl=0)
+
+    def test_grant_clamps_requested_ttl_to_max(self):
+        """Second line of defense below the 400: direct grants clamp."""
+        table = LeaseTable(ttl=10.0, clock=FakeClock())
+        assert table.max_ttl == 100.0  # default cap: 10x the base TTL
+        assert table.grant("job-1", "r1", ttl=1e12).ttl == 100.0
+        custom = LeaseTable(ttl=10.0, clock=FakeClock(), max_ttl=20.0)
+        assert custom.grant("job-2", "r1", ttl=50.0).ttl == 20.0
+        assert custom.grant("job-3", "r1", ttl=15.0).ttl == 15.0
+
+    def test_rejects_max_ttl_below_ttl(self):
+        with pytest.raises(ValueError):
+            LeaseTable(ttl=10.0, max_ttl=5.0)
 
 
 def _free_port() -> int:
